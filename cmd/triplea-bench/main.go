@@ -1,0 +1,55 @@
+// Command triplea-bench regenerates the paper's evaluation: every table
+// and figure of Section 6, printed as text tables.
+//
+// Usage:
+//
+//	triplea-bench [-experiment all|table1|table2|fig1|fig9|...|wear]
+//	              [-requests N] [-seed S] [-switches N] [-clusters N]
+//
+// The default reproduces the full 4x16 (16 TB) configuration. Reducing
+// -requests shortens runs proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"triplea/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
+		requests = flag.Int("requests", 0, "override request count per run (0 = experiment defaults)")
+		seed     = flag.Uint64("seed", 42, "workload generation seed")
+		switches = flag.Int("switches", 0, "override switch count (0 = paper default 4)")
+		clusters = flag.Int("clusters", 0, "override clusters per switch (0 = paper default 16)")
+	)
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	s.Seed = *seed
+	s.Requests = *requests
+	if *switches > 0 {
+		s.Config.Geometry.Switches = *switches
+	}
+	if *clusters > 0 {
+		s.Config.Geometry.ClustersPerSwitch = *clusters
+	}
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = s.RunAll(os.Stdout)
+	} else {
+		err = s.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triplea-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

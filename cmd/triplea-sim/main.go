@@ -1,0 +1,178 @@
+// Command triplea-sim runs one workload on a configured all-flash array
+// and prints its performance metrics: latency distribution, sustained
+// throughput, contention breakdown, FTL and wear statistics.
+//
+// Usage:
+//
+//	triplea-sim [-workload fin|mds|...|read|write] [-trace file]
+//	            [-baseline] [-requests N] [-seed S]
+//	            [-switches N] [-clusters N] [-hot N] [-rate IOPS]
+//
+// By default it runs the Triple-A (autonomic) array; -baseline selects
+// the non-autonomic array.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"triplea/internal/array"
+	"triplea/internal/core"
+	"triplea/internal/experiments"
+	"triplea/internal/ftl"
+	"triplea/internal/metrics"
+	"triplea/internal/report"
+	"triplea/internal/trace"
+	"triplea/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "read", "Table 1 workload name, or read/write micro-benchmark")
+		traceFile = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+		msrFormat = flag.Bool("msr", false, "parse -trace in MSR Cambridge format instead of the native format")
+		baseline  = flag.Bool("baseline", false, "run the non-autonomic baseline instead of Triple-A")
+		requests  = flag.Int("requests", 40_000, "requests to generate (micro-benchmarks)")
+		seed      = flag.Uint64("seed", 42, "workload generation seed")
+		switches  = flag.Int("switches", 4, "PCI-E switch count")
+		clusters  = flag.Int("clusters", 16, "clusters per switch")
+		hot       = flag.Int("hot", 2, "hot clusters (micro-benchmarks)")
+		rate      = flag.Float64("rate", 0, "offered IOPS (0 = calibrated default)")
+		layout    = flag.String("layout", "clustered", "static data layout: clustered or striped")
+		dram      = flag.Int64("dram", 0, "host DRAM cache in MiB (0 = off; Section 6.6)")
+	)
+	flag.Parse()
+
+	cfg := array.DefaultConfig()
+	cfg.Geometry.Switches = *switches
+	cfg.Geometry.ClustersPerSwitch = *clusters
+	switch *layout {
+	case "clustered":
+		cfg.Layout = ftl.LayoutClustered
+	case "striped":
+		cfg.Layout = ftl.LayoutStriped
+	default:
+		fatal(fmt.Errorf("unknown layout %q", *layout))
+	}
+	cfg.HostDRAMBytes = *dram << 20
+
+	var reqs []trace.Request
+	var err error
+	switch {
+	case *traceFile != "":
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if *msrFormat {
+			reqs, err = trace.DecodeMSR(f, cfg.Geometry.Nand.PageSizeBytes)
+		} else {
+			reqs, err = trace.Decode(f)
+		}
+		f.Close()
+	default:
+		var p workload.Profile
+		switch *wl {
+		case "read":
+			p = workload.MicroRead(*hot, *requests, 150_000)
+		case "write":
+			p = workload.MicroWrite(*hot, *requests, 150_000)
+		default:
+			var ok bool
+			p, ok = workload.ProfileByName(*wl)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q", *wl))
+			}
+			p.Requests = *requests
+		}
+		if *rate > 0 {
+			p.RateIOPS = *rate
+		} else if *wl == "read" || *wl == "write" {
+			if *hot > 0 {
+				p.RateIOPS = 1.5 * 40_000 * float64(*hot) / p.HotIORatio
+			}
+		}
+		reqs, _, err = workload.Generate(cfg.Geometry, p, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	a, err := array.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var mgr *core.Manager
+	if !*baseline {
+		mgr = core.Attach(a, core.DefaultOptions())
+	}
+	rec, err := a.Run(reqs)
+	if err != nil {
+		fatal(err)
+	}
+	printResults(a, rec, mgr)
+}
+
+func printResults(a *array.Array, rec *metrics.Recorder, mgr *core.Manager) {
+	mode := "triple-a (autonomic)"
+	if mgr == nil {
+		mode = "non-autonomic baseline"
+	}
+	g := a.Config().Geometry
+	fmt.Printf("array: %dx%d clusters, %d FIMMs, %.1f TB, mode: %s\n",
+		g.Switches, g.ClustersPerSwitch, g.TotalFIMMs(),
+		float64(g.TotalBytes())/(1<<40), mode)
+	fmt.Printf("simulated: %v; %d requests (%d reads, %d writes)\n\n",
+		a.Engine().Now(), rec.Count(), rec.Reads(), rec.Writes())
+
+	t := report.NewTable("performance", "metric", "value")
+	t.AddRow("avg latency", rec.AvgLatency().String())
+	t.AddRow("P50 latency", rec.Percentile(50).String())
+	t.AddRow("P99 latency", rec.Percentile(99).String())
+	t.AddRow("max latency", rec.MaxLatency().String())
+	t.AddRow("IOPS (makespan)", report.FormatCount(rec.IOPS()))
+	t.AddRow("IOPS (sustained)", report.FormatCount(rec.SustainedIOPS(experiments.SustainedWindow)))
+	_ = t.Render(os.Stdout)
+	fmt.Println()
+
+	mb := rec.MeanBreakdown()
+	bt := report.NewTable("mean per-request breakdown (us)",
+		"RCstall", "swStall", "EPwait", "linkWait", "storWait", "texe", "xfer", "fabric")
+	bt.AddRow(
+		report.FormatUS(int64(mb.RCStall)), report.FormatUS(int64(mb.SwitchStall)),
+		report.FormatUS(int64(mb.EPWait)), report.FormatUS(int64(mb.LinkWait)),
+		report.FormatUS(int64(mb.StorageWait)), report.FormatUS(int64(mb.Texe)),
+		report.FormatUS(int64(mb.LinkXfer)), report.FormatUS(int64(mb.FabricXfer)))
+	_ = bt.Render(os.Stdout)
+	fmt.Println()
+
+	ft := a.FTL().Stats()
+	st := report.NewTable("flash management", "metric", "value")
+	st.AddRow("host writes", fmt.Sprint(ft.HostWrites))
+	st.AddRow("gc writes", fmt.Sprint(ft.GCWrites))
+	st.AddRow("migration writes", fmt.Sprint(ft.MigrationWrites))
+	st.AddRow("write amplification", fmt.Sprintf("%.3f", ft.WriteAmplification()))
+	st.AddRow("gc rounds", fmt.Sprint(a.GCRounds()))
+	st.AddRow("total erases", fmt.Sprint(a.FTL().TotalErases()))
+	st.AddRow("page migrations", fmt.Sprint(a.Migrations()))
+	_ = st.Render(os.Stdout)
+
+	if mgr != nil {
+		fmt.Println()
+		ms := mgr.Stats()
+		mt := report.NewTable("autonomic manager", "metric", "value")
+		mt.AddRow("hot-cluster detections", fmt.Sprint(ms.HotDetections))
+		mt.AddRow("migrations started", fmt.Sprint(ms.Migrations))
+		mt.AddRow("shadow clones", fmt.Sprint(ms.ShadowClones))
+		mt.AddRow("laggards detected", fmt.Sprint(ms.LaggardsDetected))
+		mt.AddRow("reshapes", fmt.Sprint(ms.Reshapes))
+		mt.AddRow("write redirects", fmt.Sprint(ms.WriteRedirects))
+		_ = mt.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "triplea-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command triplea-trace generates synthetic workload traces in the
+// text interchange format, or summarises existing trace files.
+//
+// Usage:
+//
+//	triplea-trace -workload fin -out fin.trace          # generate
+//	triplea-trace -inspect fin.trace                    # summarise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"triplea/internal/array"
+	"triplea/internal/trace"
+	"triplea/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "", "Table 1 workload name, or read/write")
+		out      = flag.String("out", "", "output file (default stdout)")
+		inspect  = flag.String("inspect", "", "summarise an existing trace file")
+		requests = flag.Int("requests", 60_000, "requests to generate")
+		seed     = flag.Uint64("seed", 42, "generation seed")
+		hot      = flag.Int("hot", 2, "hot clusters for micro-benchmarks")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		reqs, err := trace.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		s := trace.Summarize(reqs)
+		fmt.Printf("requests: %d (%d reads, %d writes)\n", s.Requests, s.Reads, s.Writes)
+		fmt.Printf("pages: %d (%.1f MiB)\n", s.Pages, float64(s.Pages)*4096/(1<<20))
+		fmt.Printf("read ratio: %.1f%%\n", s.ReadRatio()*100)
+		fmt.Printf("duration: %v, offered: %s IOPS\n", s.DurationNS, fmt.Sprintf("%.0f", s.OfferedIOPS()))
+	case *wl != "":
+		var p workload.Profile
+		switch *wl {
+		case "read":
+			p = workload.MicroRead(*hot, *requests, 150_000)
+		case "write":
+			p = workload.MicroWrite(*hot, *requests, 150_000)
+		default:
+			var ok bool
+			p, ok = workload.ProfileByName(*wl)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q", *wl))
+			}
+			p.Requests = *requests
+		}
+		g := array.DefaultConfig().Geometry
+		reqs, gen, err := workload.Generate(g, p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		fmt.Fprintf(w, "# workload=%s requests=%d seed=%d readRatio=%.3f hotIO=%.3f hot=%d\n",
+			p.Name, len(reqs), *seed, gen.ReadRatio(), gen.HotIORatio(), len(gen.HotClusters))
+		if err := trace.Encode(w, reqs); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "triplea-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Package triplea is a faithful reimplementation of Triple-A, the
+// non-SSD based autonomic all-flash array of Jung, Choi, Shalf and
+// Kandemir (ASPLOS 2014), as a discrete-event-simulated storage system
+// in pure Go.
+//
+// The library models the entire stack the paper describes: bare NAND
+// flash packages (internal/nand), Flash Inline Memory Modules
+// (internal/fimm), PCI Express fabric with credit flow control
+// (internal/pcie), cluster endpoints with HAL and shared local buses
+// (internal/cluster), an array-global flash translation layer
+// (internal/ftl), the assembled non-autonomic baseline array
+// (internal/array), and — the paper's contribution — the autonomic
+// contention manager (internal/core) that detects hot clusters
+// (Equation 1), selects cold neighbours (Equation 2), detects laggard
+// FIMMs (Equation 3 and queue examination) and reshapes the physical
+// data layout with shadow-cloned migrations.
+//
+// internal/experiments regenerates every table and figure of the
+// paper's evaluation; cmd/triplea-bench prints them. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package triplea

@@ -1,0 +1,81 @@
+// Enterprise scenario: a storage consolidation study. Several of the
+// paper's enterprise workloads (OLTP, mail, project serving, proxy)
+// share the all-flash array as one large pool; the example tracks
+// SLA-violation rates and the contention profile with and without the
+// autonomic management — the decision a storage architect would
+// actually make with this library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triplea/internal/array"
+	"triplea/internal/core"
+	"triplea/internal/metrics"
+	"triplea/internal/report"
+	"triplea/internal/simx"
+	"triplea/internal/workload"
+)
+
+// slaTarget is the per-request latency objective for this consolidation
+// exercise (a typical all-flash array SLA, far above the device time).
+const slaTarget = 1 * simx.Millisecond
+
+func main() {
+	cfg := array.DefaultConfig()
+	names := []string{"fin", "hm", "prxy", "websql"}
+
+	t := report.NewTable("enterprise consolidation on one 16 TB pool",
+		"workload", "mode", "avgLat", "P99", ">SLA(1ms)", "linkCont", "storCont")
+	for _, name := range names {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			log.Fatalf("unknown workload %s", name)
+		}
+		p.Requests = 20_000
+		reqs, _, err := workload.Generate(cfg.Geometry, p, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, autonomic := range []bool{false, true} {
+			a, err := array.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mode := "baseline"
+			if autonomic {
+				core.Attach(a, core.DefaultOptions())
+				mode = "triple-a"
+			}
+			rec, err := a.Run(reqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mb := rec.MeanBreakdown()
+			t.AddRow(name, mode,
+				rec.AvgLatency().String(),
+				rec.Percentile(99).String(),
+				fmt.Sprintf("%.1f%%", slaViolations(rec)*100),
+				mb.LinkContention().String(),
+				mb.StorageContention().String(),
+			)
+		}
+	}
+	fmt.Println(t.String())
+	fmt.Println("SLA violations are requests exceeding", slaTarget)
+}
+
+// slaViolations reports the fraction of requests over the SLA target.
+func slaViolations(rec *metrics.Recorder) float64 {
+	if rec.Count() == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range rec.Records() {
+		if r.Latency() > slaTarget {
+			n++
+		}
+	}
+	return float64(n) / float64(rec.Count())
+}

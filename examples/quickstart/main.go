@@ -1,0 +1,57 @@
+// Quickstart: build the paper's 16 TB Triple-A array, run the `read`
+// micro-benchmark with two hot clusters against both the non-autonomic
+// baseline and the autonomic array, and print the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triplea/internal/array"
+	"triplea/internal/core"
+	"triplea/internal/metrics"
+	"triplea/internal/simx"
+	"triplea/internal/workload"
+)
+
+func main() {
+	cfg := array.DefaultConfig() // 4 switches x 16 clusters x 4 FIMMs = 16 TB
+
+	// The paper's `read` micro-benchmark: 4 KB random reads, two hot
+	// clusters receiving most of the traffic.
+	profile := workload.MicroRead(2 /* hot clusters */, 20_000 /* requests */, 240_000 /* IOPS */)
+	reqs, gen, err := workload.Generate(cfg.Geometry, profile, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d requests, %.0f%% to %d hot clusters\n\n",
+		len(reqs), gen.HotIORatio()*100, len(gen.HotClusters))
+
+	run := func(autonomic bool) *metrics.Recorder {
+		a, err := array.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if autonomic {
+			core.Attach(a, core.DefaultOptions())
+		}
+		rec, err := a.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rec
+	}
+
+	base := run(false)
+	auto := run(true)
+
+	fmt.Printf("%-22s %14s %14s\n", "", "non-autonomic", "triple-a")
+	fmt.Printf("%-22s %14v %14v\n", "average latency", base.AvgLatency(), auto.AvgLatency())
+	fmt.Printf("%-22s %14v %14v\n", "P99 latency", base.Percentile(99), auto.Percentile(99))
+	win := 5 * simx.Millisecond
+	fmt.Printf("%-22s %13.0fK %13.0fK\n", "sustained IOPS",
+		base.SustainedIOPS(win)/1000, auto.SustainedIOPS(win)/1000)
+	fmt.Printf("\nTriple-A: %.1fx lower latency, %.2fx sustained throughput\n",
+		float64(base.AvgLatency())/float64(auto.AvgLatency()),
+		auto.SustainedIOPS(win)/base.SustainedIOPS(win))
+}

@@ -1,0 +1,3 @@
+module triplea
+
+go 1.22

@@ -1,0 +1,677 @@
+package array
+
+import (
+	"fmt"
+
+	"triplea/internal/cluster"
+	"triplea/internal/ftl"
+	"triplea/internal/metrics"
+	"triplea/internal/nand"
+	"triplea/internal/pcie"
+	"triplea/internal/simx"
+	"triplea/internal/topo"
+	"triplea/internal/trace"
+)
+
+// PageComplete describes one finished page command, delivered to the
+// manager hook so it can run the paper's detection equations.
+type PageComplete struct {
+	LPN     int64
+	Op      trace.Op
+	Pages   int
+	Cluster topo.ClusterID
+	FIMM    int
+	Result  cluster.OpResult // device-level timing (Equation 1's tLatency)
+}
+
+// Hooks is the attachment point for the autonomic manager. A nil hook
+// set yields the non-autonomic baseline.
+type Hooks interface {
+	// OnPageComplete fires after every page command finishes at the
+	// host. The manager runs hot-cluster and laggard detection here.
+	OnPageComplete(pc PageComplete)
+	// WriteTarget lets the manager redirect a host write (data-layout
+	// reshaping for stalled writes); return resident to keep placement.
+	WriteTarget(lpn int64, resident topo.FIMMID) topo.FIMMID
+}
+
+// Array is one simulated all-flash array instance.
+type Array struct {
+	eng *simx.Engine
+	cfg Config
+	ftl *ftl.FTL
+
+	rc       *pcie.RootComplex
+	switches []*pcie.Switch
+	eps      [][]*cluster.Endpoint // [switch][cluster]
+
+	rcSlots  *simx.Resource // RC queue entries (admission control)
+	recorder *metrics.Recorder
+	hooks    Hooks
+	cache    *dramCache // relocated host DRAM (Section 6.6)
+
+	nextReqID   uint64
+	inFlight    int
+	gcActive    map[int]bool // per flat FIMM id
+	gcRounds    uint64
+	gcDeferrals uint64
+	migrations  uint64
+	readRetries uint64
+
+	// Write-buffer coherence: pages whose program is still in flight.
+	// Reads of these are served from the endpoint buffer, their blocks
+	// are vetoed as GC victims, and stale-marks are deferred.
+	pendingFlush   map[topo.PPN]bool
+	pendingByBlock map[topo.PPN]int
+	staleOnFlush   map[topo.PPN]bool
+
+	// Per-block program sequencing: NAND requires pages to program in
+	// order inside a block, but writes to one block can be allocated by
+	// different actors (host flush, GC, migration) whose transports
+	// reorder them. The gate launches each block's programs in
+	// allocation order.
+	gates map[topo.PPN]*blockGate
+
+	// Per-cluster shared-bus utilisation samplers for contention-cause
+	// attribution (rolled every utilWindow).
+	busUtilAt   []simx.Time
+	busUtilSnap []simx.Time
+	busUtilLast []float64
+
+	// drained fires when in-flight work reaches zero (Run uses it).
+	onIdle func()
+}
+
+// New builds an array on a fresh engine.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := simx.NewEngine()
+	a := &Array{
+		eng:            eng,
+		cfg:            cfg,
+		ftl:            ftl.New(cfg.Geometry, ftl.WithLayout(cfg.Layout), ftl.WithGCThreshold(cfg.GCThreshold)),
+		recorder:       metrics.NewRecorder(),
+		rcSlots:        simx.NewResource(eng, "rc-queue", cfg.RCQueueEntries),
+		gcActive:       make(map[int]bool),
+		pendingFlush:   make(map[topo.PPN]bool),
+		pendingByBlock: make(map[topo.PPN]int),
+		staleOnFlush:   make(map[topo.PPN]bool),
+		gates:          make(map[topo.PPN]*blockGate),
+		busUtilAt:      make([]simx.Time, cfg.Geometry.TotalClusters()),
+		busUtilSnap:    make([]simx.Time, cfg.Geometry.TotalClusters()),
+		busUtilLast:    make([]float64, cfg.Geometry.TotalClusters()),
+		cache:          newDRAMCache(int(cfg.HostDRAMBytes / int64(cfg.Geometry.Nand.PageSizeBytes))),
+	}
+	a.build()
+	return a, nil
+}
+
+// CacheStats reports host DRAM cache activity (Section 6.6).
+func (a *Array) CacheStats() CacheStats { return a.cache.stats() }
+
+// utilWindow is the sampling window for contention-cause attribution.
+const utilWindow = 200 * simx.Microsecond
+
+// clusterBusUtil samples a cluster's shared-bus utilisation over a
+// rolling window.
+func (a *Array) clusterBusUtil(id topo.ClusterID) float64 {
+	flat := id.Flat(a.cfg.Geometry)
+	now := a.eng.Now()
+	if now-a.busUtilAt[flat] < utilWindow {
+		return a.busUtilLast[flat]
+	}
+	ep := a.Endpoint(id)
+	u := ep.BusUtilizationSince(a.busUtilAt[flat], a.busUtilSnap[flat])
+	a.busUtilAt[flat] = now
+	a.busUtilSnap[flat] = ep.BusBusyNS()
+	a.busUtilLast[flat] = u
+	return u
+}
+
+// build wires the fabric: RC -> switches -> endpoints, both directions.
+func (a *Array) build() {
+	cfg := a.cfg
+	g := cfg.Geometry
+
+	a.rc = pcie.NewRootComplex(a.eng, cfg.RCRouteLatency,
+		func(pkt *pcie.Packet) int { return addrSwitch(pkt.Addr) },
+		a.deliver)
+
+	for s := 0; s < g.Switches; s++ {
+		s := s
+		sw := pcie.NewSwitch(a.eng, fmt.Sprintf("sw%d", s), cfg.SwitchRouteLatency,
+			func(pkt *pcie.Packet) int {
+				if pkt.Kind == pcie.Completion || addrSwitch(pkt.Addr) != s {
+					return pcie.Upstream
+				}
+				return addrCluster(pkt.Addr)
+			})
+		a.switches = append(a.switches, sw)
+
+		// RC <-> switch links.
+		down := pcie.NewLink(a.eng, fmt.Sprintf("rc->sw%d", s),
+			cfg.SwitchLinkBytesPerSec, cfg.LinkPropagation, cfg.SwitchLinkCredits, sw)
+		a.rc.AddPort(down)
+		up := pcie.NewLink(a.eng, fmt.Sprintf("sw%d->rc", s),
+			cfg.SwitchLinkBytesPerSec, cfg.LinkPropagation, cfg.SwitchLinkCredits, a.rc)
+		sw.SetUpstream(up)
+
+		// Switch <-> endpoint links.
+		var row []*cluster.Endpoint
+		for c := 0; c < g.ClustersPerSwitch; c++ {
+			id := topo.ClusterID{Switch: s, Cluster: c}
+			ep := cluster.New(a.eng, id, cfg.clusterParamsFor(id))
+			swDown := pcie.NewLink(a.eng, fmt.Sprintf("%v.down", id),
+				cfg.EPLinkBytesPerSec, cfg.LinkPropagation, cfg.EPLinkCredits, ep)
+			sw.AddDownstream(swDown)
+			epUp := pcie.NewLink(a.eng, fmt.Sprintf("%v.up", id),
+				cfg.EPLinkBytesPerSec, cfg.LinkPropagation, cfg.EPLinkCredits, sw)
+			ep.SetUpstream(epUp)
+			row = append(row, ep)
+		}
+		a.eps = append(a.eps, row)
+	}
+}
+
+// Engine exposes the simulation engine (experiments advance it).
+func (a *Array) Engine() *simx.Engine { return a.eng }
+
+// Config returns the build configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// FTL exposes the global translation layer.
+func (a *Array) FTL() *ftl.FTL { return a.ftl }
+
+// Recorder exposes the metrics recorder.
+func (a *Array) Recorder() *metrics.Recorder { return a.recorder }
+
+// Endpoint returns one cluster endpoint.
+func (a *Array) Endpoint(id topo.ClusterID) *cluster.Endpoint {
+	return a.eps[id.Switch][id.Cluster]
+}
+
+// Switch returns one switch (for fabric statistics).
+func (a *Array) Switch(i int) *pcie.Switch { return a.switches[i] }
+
+// RootComplex returns the RC (for fabric statistics).
+func (a *Array) RootComplex() *pcie.RootComplex { return a.rc }
+
+// SetHooks attaches the autonomic manager. Must be called before Run.
+func (a *Array) SetHooks(h Hooks) { a.hooks = h }
+
+// InFlight reports outstanding host requests.
+func (a *Array) InFlight() int { return a.inFlight }
+
+// GCRounds reports completed garbage-collection rounds.
+func (a *Array) GCRounds() uint64 { return a.gcRounds }
+
+// GCDeferrals reports how often opportunistic scheduling postponed a
+// collection round to an idle window.
+func (a *Array) GCDeferrals() uint64 { return a.gcDeferrals }
+
+// Migrations reports completed page migrations (autonomic data
+// migration + data-layout reshaping moves).
+func (a *Array) Migrations() uint64 { return a.migrations }
+
+// pkgAt resolves a PPN to its NAND package.
+func (a *Array) pkgAt(ppn topo.PPN) *nand.Package {
+	return a.eps[ppn.Switch()][ppn.Cluster()].FIMM(ppn.FIMMSlot()).Package(ppn.Pkg())
+}
+
+// Prepare installs the pre-existing data footprint for a trace: every
+// page that is read is prepopulated in the FTL and force-populated on
+// its device, so reads find real flash pages (costing no simulated
+// time — the data predates the experiment).
+func (a *Array) Prepare(reqs []trace.Request) error {
+	for _, r := range reqs {
+		if r.Op != trace.Read {
+			continue
+		}
+		for p := 0; p < r.Pages; p++ {
+			if err := a.ensureMapped(r.LPN + int64(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ensureMapped prepopulates one LPN if needed. When the FTL fell back
+// to dynamic allocation (the dense home block was consumed), the
+// device populate must respect the block's program order — it goes
+// through the same per-block gate in-flight writes use, completing
+// instantly when its turn comes.
+func (a *Array) ensureMapped(lpn int64) error {
+	ppn, need, err := a.ftl.Prepopulate(lpn)
+	if err != nil {
+		return err
+	}
+	if !need {
+		return nil
+	}
+	bk := ppn.BlockKey()
+	a.pendingFlush[ppn] = true
+	a.pendingByBlock[bk]++
+	a.launchProgram(ppn, func() {
+		if err := a.pkgAt(ppn).ForcePopulate(ppn.NandAddr(a.cfg.Geometry)); err != nil {
+			panic(fmt.Sprintf("array: prepopulate: %v", err))
+		}
+		delete(a.pendingFlush, ppn)
+		if a.pendingByBlock[bk]--; a.pendingByBlock[bk] == 0 {
+			delete(a.pendingByBlock, bk)
+		}
+		if a.staleOnFlush[ppn] {
+			delete(a.staleOnFlush, ppn)
+			a.staleDeviceNow(ppn)
+		}
+		a.releaseGate(bk)
+	})
+	return nil
+}
+
+// Run replays a trace to completion and returns the recorder. The
+// trace must be sorted by arrival time.
+func (a *Array) Run(reqs []trace.Request) (*metrics.Recorder, error) {
+	if err := a.Prepare(reqs); err != nil {
+		return nil, err
+	}
+	// Schedule arrivals lazily: each arrival schedules the next, so the
+	// event heap stays small for million-request traces.
+	var scheduleNext func(i int)
+	scheduleNext = func(i int) {
+		if i >= len(reqs) {
+			return
+		}
+		r := reqs[i]
+		at := r.Arrival
+		if at < a.eng.Now() {
+			at = a.eng.Now()
+		}
+		a.eng.At(at, func() {
+			a.Submit(r)
+			scheduleNext(i + 1)
+		})
+	}
+	scheduleNext(0)
+	a.eng.Run()
+	if a.inFlight != 0 {
+		return nil, fmt.Errorf("array: %d requests still in flight after drain", a.inFlight)
+	}
+	return a.recorder, nil
+}
+
+// request tracks one host request across its page commands.
+type request struct {
+	id       uint64
+	op       trace.Op
+	lpn      int64
+	pages    int
+	submit   simx.Time
+	remain   int
+	agg      metrics.Breakdown
+	maxAdmit simx.Time // latest page admission (RC stall reference)
+}
+
+// pageRef links a page command back to its request and downstream packet.
+type pageRef struct {
+	req          *request
+	lpn          int64
+	down         *pcie.Packet
+	rcInjectWait simx.Time
+	admitWait    simx.Time
+	retries      int
+}
+
+// maxReadRetries bounds GC-race re-resolution; more than a couple in a
+// row indicates a bookkeeping bug, not bad luck.
+const maxReadRetries = 4
+
+// retryRead re-resolves a raced read against the current mapping and
+// re-injects it, keeping its RC queue slot.
+func (a *Array) retryRead(ref *pageRef) {
+	ppn, ok := a.ftl.Lookup(ref.lpn)
+	if !ok {
+		panic(fmt.Sprintf("array: raced read of LPN %d lost its mapping", ref.lpn))
+	}
+	a.readRetries++
+	cmd := &cluster.Command{
+		Op:        cluster.OpRead,
+		FIMM:      ppn.FIMMSlot(),
+		Pkg:       ppn.Pkg(),
+		Addrs:     []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
+		BufferHit: a.pendingFlush[ppn],
+		Meta:      ref,
+	}
+	pkt := &pcie.Packet{
+		ID:   ref.req.id,
+		Kind: pcie.MemRead,
+		Addr: routeAddr(ppn.ClusterID()),
+		Meta: cmd,
+	}
+	ref.down = pkt
+	a.rc.Inject(pkt, nil)
+}
+
+// Submit enters one host request at the current simulated time.
+func (a *Array) Submit(r trace.Request) {
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	a.nextReqID++
+	req := &request{
+		id:     a.nextReqID,
+		op:     r.Op,
+		lpn:    r.LPN,
+		pages:  r.Pages,
+		submit: a.eng.Now(),
+		remain: r.Pages,
+	}
+	a.inFlight++
+	for p := 0; p < r.Pages; p++ {
+		lpn := r.LPN + int64(p)
+		if r.Op == trace.Read && a.cache.lookup(lpn) {
+			// Relocated host DRAM hit (Section 6.6): served at the
+			// management module, never entering the flash array network.
+			a.eng.Schedule(hostDRAMHitLatency, func() {
+				a.finishPage(req, metrics.Breakdown{})
+			})
+			continue
+		}
+		if r.Op == trace.Write {
+			a.cache.install(lpn)
+		}
+		// One RC queue entry per page command; waiting for an entry is
+		// the RC stall of Figure 15.
+		a.rcSlots.Acquire(func(waited simx.Time) {
+			a.admitPage(req, lpn, waited)
+		})
+	}
+}
+
+// admitPage resolves the page's physical location and injects its
+// packet at the root complex.
+func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
+	var ppn topo.PPN
+	var kind pcie.Kind
+	var payload int
+	var op cluster.Op
+	bufferHit := false
+
+	switch req.op {
+	case trace.Read:
+		if err := a.ensureMapped(lpn); err != nil {
+			panic(fmt.Sprintf("array: read mapping: %v", err))
+		}
+		ppn, _ = a.ftl.Lookup(lpn)
+		kind, op = pcie.MemRead, cluster.OpRead
+		bufferHit = a.pendingFlush[ppn]
+	default:
+		target := a.ftl.ResidentFIMM(lpn)
+		if a.hooks != nil {
+			target = a.hooks.WriteTarget(lpn, target)
+		}
+		wa, err := a.ftl.AllocateWriteAt(lpn, target)
+		if err != nil {
+			// Target FIMM out of space: force a synchronous GC plan on
+			// it, then retry once; persistent failure is a sizing bug.
+			a.runGCNow(target)
+			wa, err = a.ftl.AllocateWriteAt(lpn, target)
+			if err != nil {
+				panic(fmt.Sprintf("array: write allocation: %v", err))
+			}
+		}
+		if wa.HasOld {
+			a.markStaleDevice(wa.Old)
+		}
+		ppn = wa.New
+		kind, op = pcie.MemWrite, cluster.OpWrite
+		payload = a.cfg.Geometry.Nand.PageSizeBytes
+	}
+
+	ref := &pageRef{req: req, lpn: lpn, admitWait: admitWait}
+	cmd := &cluster.Command{
+		Op:        op,
+		FIMM:      ppn.FIMMSlot(),
+		Pkg:       ppn.Pkg(),
+		Addrs:     []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
+		BufferHit: bufferHit,
+		Meta:      ref,
+	}
+	if op == cluster.OpWrite {
+		a.trackFlush(ppn, cmd)
+	}
+	pkt := &pcie.Packet{
+		ID:      req.id,
+		Kind:    kind,
+		Addr:    routeAddr(ppn.ClusterID()),
+		Payload: payload,
+		Meta:    cmd,
+	}
+	ref.down = pkt
+	inject := func() {
+		a.rc.Inject(pkt, func() {
+			ref.rcInjectWait = pkt.QueueWait
+		})
+	}
+	if op == cluster.OpWrite {
+		a.launchProgram(ppn, inject)
+	} else {
+		inject()
+	}
+
+	// Kick background GC if this write pressured its FIMM.
+	if req.op == trace.Write && a.ftl.GCPressure(ppn.FIMMID()) {
+		a.startGC(ppn.FIMMID())
+	}
+}
+
+// blockGate serialises program launches into one erase block.
+type blockGate struct {
+	busy    bool
+	waiting []func()
+}
+
+// launchProgram starts a page program (launch hands the command to its
+// transport) respecting per-block allocation order: the next program
+// for a block leaves the host only after the previous one flushed.
+func (a *Array) launchProgram(ppn topo.PPN, launch func()) {
+	bk := ppn.BlockKey()
+	g := a.gates[bk]
+	if g == nil {
+		g = &blockGate{}
+		a.gates[bk] = g
+	}
+	if g.busy {
+		g.waiting = append(g.waiting, launch)
+		return
+	}
+	g.busy = true
+	launch()
+}
+
+// releaseGate lets the block's next queued program launch.
+func (a *Array) releaseGate(bk topo.PPN) {
+	g := a.gates[bk]
+	if g == nil {
+		return
+	}
+	if len(g.waiting) > 0 {
+		next := g.waiting[0]
+		g.waiting = g.waiting[:copy(g.waiting, g.waiting[1:])]
+		next()
+		return
+	}
+	delete(a.gates, bk)
+}
+
+// trackFlush registers an in-flight page program and arranges its
+// retirement when the endpoint flush completes.
+func (a *Array) trackFlush(ppn topo.PPN, cmd *cluster.Command) {
+	a.pendingFlush[ppn] = true
+	a.pendingByBlock[ppn.BlockKey()]++
+	cmd.OnFlushed = func(c *cluster.Command) {
+		if c.Result.Err != nil {
+			panic(fmt.Sprintf("array: flush of %v failed: %v", ppn, c.Result.Err))
+		}
+		delete(a.pendingFlush, ppn)
+		bk := ppn.BlockKey()
+		if a.pendingByBlock[bk]--; a.pendingByBlock[bk] == 0 {
+			delete(a.pendingByBlock, bk)
+		}
+		if a.staleOnFlush[ppn] {
+			delete(a.staleOnFlush, ppn)
+			a.staleDeviceNow(ppn)
+		}
+		a.releaseGate(bk)
+	}
+}
+
+// markStaleDevice mirrors an FTL stale-mark onto the device page,
+// deferring it when the page's program is still buffered.
+func (a *Array) markStaleDevice(ppn topo.PPN) {
+	if a.pendingFlush[ppn] {
+		a.staleOnFlush[ppn] = true
+		return
+	}
+	a.staleDeviceNow(ppn)
+}
+
+func (a *Array) staleDeviceNow(ppn topo.PPN) {
+	if err := a.pkgAt(ppn).MarkStale(ppn.NandAddr(a.cfg.Geometry)); err != nil {
+		panic(fmt.Sprintf("array: device stale-mark: %v", err))
+	}
+}
+
+// deliver receives completion packets at the root complex and finalises
+// their page commands.
+func (a *Array) deliver(pkt *pcie.Packet) {
+	if pkt.Kind != pcie.Completion {
+		// Cross-switch background transfer: send back downstream.
+		a.rc.Inject(pkt, nil)
+		return
+	}
+	cmd, ok := pkt.Meta.(*cluster.Command)
+	if !ok {
+		panic("array: completion without command")
+	}
+	ref, ok := cmd.Meta.(*pageRef)
+	if !ok {
+		panic("array: command without page reference")
+	}
+	req := ref.req
+	res := cmd.Result
+	if cmd.Op == cluster.OpWrite {
+		res = cmd.AckResult
+	}
+	if res.Err != nil {
+		// A read can lose the race against garbage collection: its
+		// physical address was erased while the command was in flight.
+		// Re-resolve against the current mapping and retry.
+		if cmd.Op == cluster.OpRead && ref.retries < maxReadRetries {
+			ref.retries++
+			a.retryRead(ref)
+			return
+		}
+		panic(fmt.Sprintf("array: device error on req %d: %v", req.id, res.Err))
+	}
+	a.rcSlots.Release()
+
+	down, up := ref.down, pkt
+	var b metrics.Breakdown
+	b.RCStall = ref.admitWait + ref.rcInjectWait
+	b.SwitchStall = (down.QueueWait - ref.rcInjectWait) + down.CreditWait + down.WireWait +
+		up.QueueWait + up.CreditWait + up.WireWait
+	b.EPWait = res.EPWait
+	b.StorageWait = res.StorageWait
+	b.LinkWait = res.LinkWait
+	b.Texe = res.Texe
+	b.LinkXfer = res.LinkXfer
+	b.FabricXfer = down.WireTime + down.RouteTime + up.WireTime + up.RouteTime
+
+	// Attribute the upstream backlog to its root cause: a saturated
+	// shared bus at the target cluster is link contention (the paper's
+	// classification); otherwise split by the device-side waits.
+	clusterID := topo.ClusterID{Switch: addrSwitch(up.Addr), Cluster: addrCluster(up.Addr)}
+	device := b.LinkWait + b.EPWait + b.StorageWait
+	share := 0.0
+	if device > 0 {
+		share = float64(b.LinkWait) / float64(device)
+	}
+	if sat := (a.clusterBusUtil(clusterID) - 0.6) / 0.3; sat > share {
+		share = sat
+	}
+	b.AttributeShare(share)
+
+	if req.op == trace.Read {
+		a.cache.install(ref.lpn)
+	}
+	if a.hooks != nil {
+		a.hooks.OnPageComplete(PageComplete{
+			LPN:     ref.lpn,
+			Op:      req.op,
+			Pages:   1,
+			Cluster: clusterID,
+			FIMM:    cmd.FIMM,
+			Result:  res,
+		})
+	}
+	a.finishPage(req, b)
+}
+
+// finishPage retires one page of a request, recording the request when
+// its last page completes.
+func (a *Array) finishPage(req *request, b metrics.Breakdown) {
+	req.agg.Add(b)
+	req.remain--
+	if req.remain > 0 {
+		return
+	}
+	kind := metrics.Read
+	if req.op == trace.Write {
+		kind = metrics.Write
+	}
+	a.recorder.Record(metrics.Record{
+		ID:        req.id,
+		Kind:      kind,
+		Pages:     req.pages,
+		Submit:    req.submit,
+		Complete:  a.eng.Now(),
+		Breakdown: req.agg,
+	})
+	a.inFlight--
+	if a.inFlight == 0 && a.onIdle != nil {
+		a.onIdle()
+	}
+}
+
+// ReadRetries reports reads re-resolved after losing a race with
+// garbage collection.
+func (a *Array) ReadRetries() uint64 { return a.readRetries }
+
+// CheckConsistency audits the array after (or during) a run: every
+// mapped logical page must resolve to a physical page the device agrees
+// is live (programmed, or still buffered in an endpoint), and the FTL's
+// reverse lookup must agree with the forward map. It returns the first
+// violation found — a debugging net for layout-reshaping code and a
+// post-run assertion for tests.
+func (a *Array) CheckConsistency() error {
+	g := a.cfg.Geometry
+	var err error
+	a.ftl.ForEachMapping(func(lpn int64, ppn topo.PPN) bool {
+		if back, ok := a.ftl.LPNOf(ppn); !ok || back != lpn {
+			err = fmt.Errorf("array: reverse map of %v = (%d,%v), want LPN %d", ppn, back, ok, lpn)
+			return false
+		}
+		if a.pendingFlush[ppn] {
+			return true // program still buffered; device state lags by design
+		}
+		if st := a.pkgAt(ppn).PageStateAt(ppn.NandAddr(g)); st != nand.PageValid {
+			err = fmt.Errorf("array: LPN %d maps to %v in device state %d, want valid", lpn, ppn, st)
+			return false
+		}
+		return true
+	})
+	return err
+}

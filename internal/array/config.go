@@ -1,0 +1,194 @@
+// Package array assembles the complete all-flash array: root complex,
+// PCI-E switches, cluster endpoints, FIMMs and the global FTL, and
+// drives I/O requests end to end. Without a manager attached this is
+// the paper's *non-autonomic* baseline; package core adds the autonomic
+// contention management on top through the hook points exposed here.
+package array
+
+import (
+	"fmt"
+
+	"triplea/internal/cluster"
+	"triplea/internal/fimm"
+	"triplea/internal/ftl"
+	"triplea/internal/nand"
+	"triplea/internal/simx"
+	"triplea/internal/topo"
+)
+
+// Config describes a full array build.
+type Config struct {
+	Geometry topo.Geometry
+
+	// Endpoint parameters not implied by the geometry.
+	BusPins         int
+	BusMHz          int
+	BusDDR          bool
+	QueueEntries    int
+	FIMMQueueDepth  int
+	WriteBufEntries int
+	StagingEntries  int
+	HALLatency      simx.Time
+	// HostPriority queues host reads ahead of background (GC/migration)
+	// reads at the endpoints.
+	HostPriority bool
+
+	// FIMM channel parameters.
+	ChannelPins int
+	ChannelMHz  int
+	ChannelDDR  bool
+
+	// Fabric parameters.
+	EPLinkBytesPerSec     int64     // switch <-> endpoint links
+	SwitchLinkBytesPerSec int64     // RC <-> switch links
+	LinkPropagation       simx.Time // per hop
+	SwitchRouteLatency    simx.Time
+	RCRouteLatency        simx.Time
+	EPLinkCredits         int
+	SwitchLinkCredits     int
+
+	RCQueueEntries int       // outstanding page commands (paper: 650-1000)
+	SLA            simx.Time // latency target for laggard detection (paper: 3.3us)
+
+	// HostDRAMBytes sizes the relocated DRAM at the management module
+	// (Section 6.6); zero disables host caching. Triple-A moves the
+	// SSDs' on-board DRAM here — caching still works, but, as the paper
+	// argues, it cannot resolve the array's link/storage contentions.
+	HostDRAMBytes int64
+
+	Layout      ftl.Layout
+	GCThreshold int
+	// OpportunisticGC defers background garbage collection while the
+	// target cluster's shared bus is busy, running it in idle windows
+	// instead (the paper's Section 8 "array-level garbage collection
+	// scheduler"). Urgent pressure (a unit nearly out of free blocks)
+	// collects regardless.
+	OpportunisticGC bool
+
+	// DegradedFIMMs slows individual modules' cell timings by the given
+	// factor (wear-degraded hardware — intrinsic laggards). Healthy
+	// modules are simply absent from the map.
+	DegradedFIMMs map[topo.FIMMID]float64
+}
+
+// DefaultConfig returns the paper's baseline: a 4x16 network (four PLX
+// switches, sixteen clusters each) of 4 x 64 GiB-FIMM clusters — a
+// 16 TB array — with PCI-E 3.0-era link rates (x4 endpoint links, x16
+// switch uplinks) and the published RC queue size and SLA.
+//
+// The cluster's shared local bus runs ONFI SDR x8 (400 MB/s, ~10.2 us
+// per 4 KiB page): slower than the per-FIMM NV-DDR2 channels behind it,
+// making the bus the cluster's shared bottleneck — the link-contention
+// point Equation 1 reasons about.
+func DefaultConfig() Config {
+	return Config{
+		Geometry: topo.Geometry{
+			Switches:          4,
+			ClustersPerSwitch: 16,
+			FIMMsPerCluster:   4,
+			PackagesPerFIMM:   8,
+			Nand:              nand.DefaultParams(),
+		},
+		BusPins:         8,
+		BusMHz:          400,
+		BusDDR:          false,
+		QueueEntries:    64,
+		FIMMQueueDepth:  4,
+		WriteBufEntries: 64,
+		StagingEntries:  32,
+		HALLatency:      200 * simx.Nanosecond,
+
+		ChannelPins: 16,
+		ChannelMHz:  400,
+		ChannelDDR:  true,
+
+		EPLinkBytesPerSec:     4_000_000_000,  // ~PCI-E 3.0 x4
+		SwitchLinkBytesPerSec: 16_000_000_000, // ~PCI-E 3.0 x16
+		LinkPropagation:       100 * simx.Nanosecond,
+		SwitchRouteLatency:    150 * simx.Nanosecond,
+		RCRouteLatency:        200 * simx.Nanosecond,
+		EPLinkCredits:         32,
+		SwitchLinkCredits:     64,
+
+		RCQueueEntries: 768,
+		SLA:            3300 * simx.Nanosecond,
+
+		Layout:      ftl.LayoutClustered,
+		GCThreshold: 2,
+	}
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.EPLinkBytesPerSec <= 0 || c.SwitchLinkBytesPerSec <= 0:
+		return fmt.Errorf("array: link bandwidths must be positive")
+	case c.EPLinkCredits < 1 || c.SwitchLinkCredits < 1:
+		return fmt.Errorf("array: link credits must be >= 1")
+	case c.RCQueueEntries < 1:
+		return fmt.Errorf("array: RCQueueEntries %d must be >= 1", c.RCQueueEntries)
+	case c.SLA <= 0:
+		return fmt.Errorf("array: SLA %v must be positive", c.SLA)
+	}
+	return c.clusterParams().Validate()
+}
+
+// clusterParamsFor derives one cluster's parameters, applying any
+// per-slot degradation.
+func (c Config) clusterParamsFor(id topo.ClusterID) cluster.Params {
+	p := c.clusterParams()
+	for slot := 0; slot < c.Geometry.FIMMsPerCluster; slot++ {
+		f, ok := c.DegradedFIMMs[topo.FIMMID{ClusterID: id, FIMM: slot}]
+		if !ok {
+			continue
+		}
+		if p.SlotLatencyScale == nil {
+			p.SlotLatencyScale = make([]float64, c.Geometry.FIMMsPerCluster)
+			for i := range p.SlotLatencyScale {
+				p.SlotLatencyScale[i] = 1
+			}
+		}
+		p.SlotLatencyScale[slot] = f
+	}
+	return p
+}
+
+// clusterParams derives the per-cluster parameters from the config.
+func (c Config) clusterParams() cluster.Params {
+	return cluster.Params{
+		NumFIMMs: c.Geometry.FIMMsPerCluster,
+		FIMM: fimm.Params{
+			NumPackages: c.Geometry.PackagesPerFIMM,
+			ChannelPins: c.ChannelPins,
+			ChannelMHz:  c.ChannelMHz,
+			ChannelDDR:  c.ChannelDDR,
+			Nand:        c.Geometry.Nand,
+		},
+		BusPins:         c.BusPins,
+		BusMHz:          c.BusMHz,
+		BusDDR:          c.BusDDR,
+		QueueEntries:    c.QueueEntries,
+		FIMMQueueDepth:  c.FIMMQueueDepth,
+		WriteBufEntries: c.WriteBufEntries,
+		StagingEntries:  c.StagingEntries,
+		HALLatency:      c.HALLatency,
+		HostPriority:    c.HostPriority,
+	}
+}
+
+// BusPageTime reports the cluster shared-bus time for one page — the
+// tDMA term of the paper's Equations 1-3, which the autonomic manager
+// needs for its detection thresholds.
+func (c Config) BusPageTime() simx.Time { return c.clusterParams().BusPageTime() }
+
+// routeAddr encodes a cluster's position into a fabric address.
+func routeAddr(id topo.ClusterID) uint64 {
+	return uint64(id.Switch)<<32 | uint64(id.Cluster)
+}
+
+// addrSwitch and addrCluster decode a fabric address.
+func addrSwitch(a uint64) int  { return int(a >> 32) }
+func addrCluster(a uint64) int { return int(a & 0xffffffff) }

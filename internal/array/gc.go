@@ -1,0 +1,160 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+
+	"triplea/internal/cluster"
+	"triplea/internal/ftl"
+	"triplea/internal/nand"
+	"triplea/internal/topo"
+)
+
+// startGC launches a background garbage-collection worker for a FIMM if
+// one is not already running. The worker relocates the victim's valid
+// pages (device reads and programs that contend with host traffic, as
+// real GC does), erases the victim, and repeats while pressure remains.
+func (a *Array) startGC(id topo.FIMMID) {
+	flat := id.Flat(a.cfg.Geometry)
+	if a.gcActive[flat] {
+		return
+	}
+	a.gcActive[flat] = true
+	a.gcStep(id)
+}
+
+func (a *Array) gcStep(id topo.FIMMID) {
+	flat := id.Flat(a.cfg.Geometry)
+	if !a.ftl.GCPressure(id) {
+		a.gcActive[flat] = false
+		return
+	}
+	// Opportunistic scheduling: while the cluster is serving host
+	// traffic, postpone collection to an idle window — unless a unit is
+	// about to run dry, in which case reclaim immediately.
+	if a.cfg.OpportunisticGC && a.ftl.MinFreeBlocks(id) > 1 &&
+		a.clusterBusUtil(id.ClusterID) > 0.5 {
+		a.gcDeferrals++
+		a.eng.Schedule(utilWindow, func() { a.gcStep(id) })
+		return
+	}
+	plan, ok := a.ftl.PlanGC(id, a.gcVeto)
+	if !ok {
+		a.gcActive[flat] = false
+		return
+	}
+	a.execGCMoves(plan, 0, func() {
+		a.eraseVictim(plan, func() {
+			a.gcRounds++
+			a.gcStep(id) // keep collecting while pressured
+		})
+	})
+}
+
+// execGCMoves relocates plan.Moves[i:] one at a time, then calls done.
+func (a *Array) execGCMoves(plan *ftl.GCPlan, i int, done func()) {
+	if i >= len(plan.Moves) {
+		done()
+		return
+	}
+	move := plan.Moves[i]
+	next := func() { a.execGCMoves(plan, i+1, done) }
+
+	ep := a.Endpoint(move.Src.ClusterID())
+	readCmd := &cluster.Command{
+		Op:         cluster.OpRead,
+		FIMM:       move.Src.FIMMSlot(),
+		Pkg:        move.Src.Pkg(),
+		Addrs:      []nand.Addr{move.Src.NandAddr(a.cfg.Geometry)},
+		Background: true,
+		OnComplete: func(c *cluster.Command) {
+			if c.Result.Err != nil {
+				panic(fmt.Sprintf("array: GC read: %v", c.Result.Err))
+			}
+			wa, err := a.ftl.AllocateGCMove(move)
+			if err != nil {
+				// A host write moved the page since planning; skip it.
+				next()
+				return
+			}
+			a.markStaleDevice(wa.Old)
+			a.backgroundProgram(wa.New, next)
+		},
+	}
+	ep.Submit(readCmd)
+}
+
+// gcVeto excludes blocks with buffered (unflushed) programs from
+// victim selection.
+func (a *Array) gcVeto(victim topo.PPN) bool {
+	return a.pendingByBlock[victim.BlockKey()] > 0
+}
+
+// backgroundProgram writes one page at ppn via the endpoint write path.
+func (a *Array) backgroundProgram(ppn topo.PPN, done func()) {
+	ep := a.Endpoint(ppn.ClusterID())
+	cmd := &cluster.Command{
+		Op:         cluster.OpWrite,
+		FIMM:       ppn.FIMMSlot(),
+		Pkg:        ppn.Pkg(),
+		Addrs:      []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
+		Background: true,
+		OnComplete: func(c *cluster.Command) {
+			if c.Result.Err != nil {
+				panic(fmt.Sprintf("array: background program: %v", c.Result.Err))
+			}
+			done()
+		},
+	}
+	a.trackFlush(ppn, cmd)
+	a.launchProgram(ppn, func() { ep.Submit(cmd) })
+}
+
+// eraseVictim erases the plan's victim block and completes the plan.
+func (a *Array) eraseVictim(plan *ftl.GCPlan, done func()) {
+	ep := a.Endpoint(plan.Victim.ClusterID())
+	ep.Erase(plan.Victim.FIMMSlot(), plan.Victim.Pkg(),
+		[]nand.Addr{plan.Victim.NandAddr(a.cfg.Geometry)},
+		func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("array: GC erase: %v", err))
+			}
+			if err := a.ftl.CompleteGCErase(plan); err != nil {
+				panic(fmt.Sprintf("array: GC bookkeeping: %v", err))
+			}
+			done()
+		})
+}
+
+// runGCNow is the emergency out-of-space path: it reclaims one block
+// with zero-time device fixups so an in-admission write can proceed.
+// Measured experiments are sized so this never fires; it exists to keep
+// pathological configurations (tiny FIMMs, reshaping pile-ups) live.
+func (a *Array) runGCNow(id topo.FIMMID) {
+	plan, ok := a.ftl.PlanGC(id, a.gcVeto)
+	if !ok {
+		return
+	}
+	g := a.cfg.Geometry
+	for _, move := range plan.Moves {
+		wa, err := a.ftl.AllocateGCMove(move)
+		if errors.Is(err, ftl.ErrNoSpace) {
+			// Not even relocation space: the victim cannot be emptied.
+			return
+		}
+		if err != nil {
+			continue // host write superseded the page since planning
+		}
+		a.markStaleDevice(wa.Old)
+		if err := a.pkgAt(wa.New).ForcePopulate(wa.New.NandAddr(g)); err != nil {
+			panic(fmt.Sprintf("array: emergency GC populate: %v", err))
+		}
+	}
+	if err := a.pkgAt(plan.Victim).ForceErase(plan.Victim.NandAddr(g)); err != nil {
+		panic(fmt.Sprintf("array: emergency GC erase: %v", err))
+	}
+	if err := a.ftl.CompleteGCErase(plan); err != nil {
+		panic(fmt.Sprintf("array: emergency GC bookkeeping: %v", err))
+	}
+	a.gcRounds++
+}

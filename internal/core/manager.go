@@ -1,0 +1,492 @@
+// Package core implements the paper's primary contribution: the
+// autonomic flash array management module (Section 4). Attached to an
+// array's hook points it turns the non-autonomic baseline into
+// Triple-A:
+//
+//   - Link contention management (Section 4.1): straggler I/O requests
+//     are detected with Equation 1, a cold cluster under the same
+//     switch is selected with Equation 2, and the straggler's data is
+//     migrated there — overlapped with the in-flight host transfer via
+//     shadow cloning.
+//   - Storage contention management (Section 4.2): laggard FIMMs are
+//     detected by latency monitoring (Equation 3) or queue examination,
+//     and the physical data layout is reshaped: hot read data drains to
+//     sibling FIMMs, stalled writes are redirected, and when every FIMM
+//     in a cluster is a laggard the data leaves the cluster entirely.
+package core
+
+import (
+	"triplea/internal/array"
+	"triplea/internal/cluster"
+	"triplea/internal/simx"
+	"triplea/internal/topo"
+	"triplea/internal/trace"
+)
+
+// LaggardStrategy selects how laggards are detected (Section 4.2).
+type LaggardStrategy int
+
+const (
+	// LatencyMonitoring detects a laggard when the expected service
+	// time of its stalled requests violates the SLA (Equation 3).
+	LatencyMonitoring LaggardStrategy = iota
+	// QueueExamination detects laggards only when the endpoint queue is
+	// full, blaming the FIMM holding the most stalled entries.
+	QueueExamination
+)
+
+func (s LaggardStrategy) String() string {
+	if s == QueueExamination {
+		return "queue-examination"
+	}
+	return "latency-monitoring"
+}
+
+// Options configures the manager. The zero value disables everything;
+// DefaultOptions enables the full Triple-A feature set.
+type Options struct {
+	LinkManagement    bool // hot-cluster detection + autonomic data migration
+	StorageManagement bool // laggard detection + data-layout reshaping
+	ShadowCloning     bool // overlap migration reads with host transfers
+	Strategy          LaggardStrategy
+
+	// UtilWindow is the sliding window for Equation 2's bus-utilisation
+	// sampling.
+	UtilWindow simx.Time
+	// MaxInflightMigrations bounds concurrent background moves so the
+	// repair traffic cannot swamp the fabric.
+	MaxInflightMigrations int
+	// WearAware breaks placement ties toward less-worn FIMMs — the
+	// central module knows every module's erase counts (Section 6.7),
+	// so reshaping doubles as global wear leveling.
+	WearAware bool
+	// ReshapeBatch is how many recently served pages of a laggard are
+	// reshaped per detection. The paper moves the data of all the
+	// stalled requests at once (Figure 8); the manager approximates
+	// their identity with the laggard's most recent working set.
+	ReshapeBatch int
+}
+
+// DefaultOptions returns the full Triple-A configuration.
+func DefaultOptions() Options {
+	return Options{
+		LinkManagement:        true,
+		StorageManagement:     true,
+		ShadowCloning:         true,
+		Strategy:              LatencyMonitoring,
+		UtilWindow:            200 * simx.Microsecond,
+		MaxInflightMigrations: 256,
+		WearAware:             true,
+		ReshapeBatch:          8,
+	}
+}
+
+// Stats counts the manager's decisions.
+type Stats struct {
+	HotDetections    uint64 // Equation 1 firings
+	ColdMisses       uint64 // hot detections with no cold cluster available
+	Migrations       uint64 // cross-cluster page migrations started
+	ShadowClones     uint64 // migrations that skipped the device read
+	LaggardsDetected uint64
+	Reshapes         uint64 // intra-cluster page moves started
+	WriteRedirects   uint64 // writes steered away from laggards
+	MigrationErrors  uint64
+}
+
+// Manager is the autonomic flash array management module.
+type Manager struct {
+	arr *array.Array
+	opt Options
+
+	busTime  simx.Time // tDMA: shared-bus time per page
+	texeRead simx.Time // nominal read cell time
+	nFIMM    int
+	sla      simx.Time
+
+	// Equation 2 sampling state, per flat cluster index.
+	utilAt   []simx.Time
+	utilBusy []simx.Time
+	utilLast []float64
+
+	inflight  int
+	migrating map[int64]bool // LPNs currently moving
+
+	// recent tracks each FIMM's most recently served LPNs (a proxy for
+	// the data its stalled requests want), fueling batch reshaping.
+	recent map[int]*lpnRing
+
+	stats Stats
+}
+
+// lpnRing is a fixed-size ring of recently served logical pages.
+type lpnRing struct {
+	buf  []int64
+	next int
+	full bool
+}
+
+func newLPNRing(n int) *lpnRing { return &lpnRing{buf: make([]int64, n)} }
+
+func (r *lpnRing) add(lpn int64) {
+	r.buf[r.next] = lpn
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+}
+
+// snapshot lists the ring's contents, most recent first, deduplicated.
+func (r *lpnRing) snapshot() []int64 {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	seen := make(map[int64]bool, n)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		lpn := r.buf[idx]
+		if !seen[lpn] {
+			seen[lpn] = true
+			out = append(out, lpn)
+		}
+	}
+	return out
+}
+
+// Attach builds a manager and registers it on the array. The array
+// becomes a Triple-A; call before Run.
+func Attach(a *array.Array, opt Options) *Manager {
+	cfg := a.Config()
+	if opt.UtilWindow <= 0 {
+		opt.UtilWindow = DefaultOptions().UtilWindow
+	}
+	if opt.MaxInflightMigrations <= 0 {
+		opt.MaxInflightMigrations = DefaultOptions().MaxInflightMigrations
+	}
+	n := cfg.Geometry.Nand
+	m := &Manager{
+		arr:       a,
+		opt:       opt,
+		busTime:   cfg.BusPageTime(),
+		texeRead:  n.TCmdOverhead + n.TRead + n.TECCPerPage,
+		nFIMM:     cfg.Geometry.FIMMsPerCluster,
+		sla:       cfg.SLA,
+		utilAt:    make([]simx.Time, cfg.Geometry.TotalClusters()),
+		utilBusy:  make([]simx.Time, cfg.Geometry.TotalClusters()),
+		utilLast:  make([]float64, cfg.Geometry.TotalClusters()),
+		migrating: make(map[int64]bool),
+		recent:    make(map[int]*lpnRing),
+	}
+	if opt.ReshapeBatch <= 0 {
+		m.opt.ReshapeBatch = DefaultOptions().ReshapeBatch
+	}
+	a.SetHooks(m)
+	return m
+}
+
+// Stats returns a snapshot of manager activity.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Options returns the active configuration.
+func (m *Manager) Options() Options { return m.opt }
+
+// OnPageComplete implements array.Hooks: every finished page command
+// runs the two detectors.
+func (m *Manager) OnPageComplete(pc array.PageComplete) {
+	if m.opt.StorageManagement {
+		m.rememberServed(pc)
+	}
+	if m.opt.LinkManagement && pc.Op == trace.Read {
+		m.manageLinkContention(pc)
+	}
+	if m.opt.StorageManagement {
+		m.manageStorageContention(pc)
+	}
+}
+
+// rememberServed records the page in its FIMM's recent-working-set ring.
+func (m *Manager) rememberServed(pc array.PageComplete) {
+	g := m.arr.Config().Geometry
+	flat := topo.FIMMID{ClusterID: pc.Cluster, FIMM: pc.FIMM}.Flat(g)
+	r := m.recent[flat]
+	if r == nil {
+		r = newLPNRing(4 * m.opt.ReshapeBatch)
+		m.recent[flat] = r
+	}
+	r.add(pc.LPN)
+}
+
+// hotThreshold is the right-hand side of Equation 1:
+// tDMA*(npage + nFIMM - 1) + texe*npage.
+func (m *Manager) hotThreshold(npage int) simx.Time {
+	return m.busTime*simx.Time(npage+m.nFIMM-1) + m.texeRead*simx.Time(npage)
+}
+
+// manageLinkContention applies Equation 1 to the completed request and,
+// on detection, migrates the straggler's page to a cold cluster under
+// the same switch. Equation 1 captures the regime where the shared bus
+// is busy most of the time, so detection additionally requires the
+// cluster's bus utilisation to exceed the two-FIMM level — a transient
+// die collision on an otherwise idle cluster is not a hot cluster.
+func (m *Manager) manageLinkContention(pc array.PageComplete) {
+	if pc.Result.DeviceLatency() < m.hotThreshold(pc.Pages) {
+		return
+	}
+	if m.utilization(pc.Cluster) < 2/float64(m.nFIMM) {
+		return
+	}
+	m.stats.HotDetections++
+	cold, ok := m.coldClusterNear(pc.Cluster)
+	if !ok {
+		m.stats.ColdMisses++
+		return
+	}
+	dst := topo.FIMMID{ClusterID: cold, FIMM: m.leastStalledFIMM(cold)}
+	m.startMove(pc.LPN, dst, true /* data just staged in the source EP */)
+}
+
+// manageStorageContention runs laggard detection on the completed
+// command's cluster and reshapes the just-served page off a laggard.
+func (m *Manager) manageStorageContention(pc array.PageComplete) {
+	ep := m.arr.Endpoint(pc.Cluster)
+	laggards := m.detectLaggards(ep)
+	if len(laggards) == 0 {
+		return
+	}
+	if !laggards[pc.FIMM] {
+		return // the served page does not live on a laggard
+	}
+	m.stats.LaggardsDetected++
+
+	if m.allLaggards(laggards) {
+		// Every FIMM is a laggard: reshaping inside the cluster cannot
+		// help; migrate across clusters like hot-cluster management.
+		if cold, ok := m.coldClusterNear(pc.Cluster); ok {
+			dst := topo.FIMMID{ClusterID: cold, FIMM: m.leastStalledFIMM(cold)}
+			m.startMove(pc.LPN, dst, pc.Op == trace.Read)
+		} else {
+			m.stats.ColdMisses++
+		}
+		return
+	}
+	// Reshape: move the laggard's hot working set — the just-served
+	// page plus its most recently served pages (a proxy for the stalled
+	// requests' data, Figure 8) — to the least-stalled sibling FIMMs.
+	// The just-served page can shadow-copy; the rest need device reads
+	// unless still buffered.
+	dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards)}
+	m.stats.Reshapes++
+	m.startMove(pc.LPN, dst, true)
+	m.reshapeBatch(pc, laggards)
+}
+
+// reshapeBatch drains up to ReshapeBatch recent pages off the laggard.
+// It only runs while the cluster's shared bus has headroom: batch moves
+// need device reads, and burning a saturated bus on repair traffic
+// would convert storage contention into link contention.
+func (m *Manager) reshapeBatch(pc array.PageComplete, laggards []bool) {
+	if m.utilization(pc.Cluster) > 0.5 {
+		return
+	}
+	g := m.arr.Config().Geometry
+	laggard := topo.FIMMID{ClusterID: pc.Cluster, FIMM: pc.FIMM}
+	ring := m.recent[laggard.Flat(g)]
+	if ring == nil {
+		return
+	}
+	ep := m.arr.Endpoint(pc.Cluster)
+	moved := 0
+	for _, lpn := range ring.snapshot() {
+		if moved >= m.opt.ReshapeBatch {
+			break
+		}
+		if lpn == pc.LPN || m.migrating[lpn] {
+			continue
+		}
+		// Only pages still resident on the laggard are worth moving.
+		if m.arr.FTL().ResidentFIMM(lpn) != laggard {
+			continue
+		}
+		dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards)}
+		m.stats.Reshapes++
+		m.startMove(lpn, dst, false /* not in the EP: device read needed */)
+		moved++
+	}
+}
+
+// WriteTarget implements array.Hooks: writes headed to a laggard are
+// redirected to an adjacent FIMM within the same cluster (Section 4.2's
+// write handling), or to a cold cluster when the whole cluster lags.
+func (m *Manager) WriteTarget(lpn int64, resident topo.FIMMID) topo.FIMMID {
+	if !m.opt.StorageManagement {
+		return resident
+	}
+	ep := m.arr.Endpoint(resident.ClusterID)
+	laggards := m.detectLaggards(ep)
+	if len(laggards) == 0 || !laggards[resident.FIMM] {
+		return resident
+	}
+	if m.allLaggards(laggards) {
+		if cold, ok := m.coldClusterNear(resident.ClusterID); ok {
+			m.stats.WriteRedirects++
+			return topo.FIMMID{ClusterID: cold, FIMM: m.leastStalledFIMM(cold)}
+		}
+		return resident
+	}
+	m.stats.WriteRedirects++
+	return topo.FIMMID{ClusterID: resident.ClusterID, FIMM: m.siblingFIMM(ep, laggards)}
+}
+
+// detectLaggards reports, per FIMM slot, whether the slot is a laggard
+// under the configured strategy. A nil result means none.
+func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
+	stalled := ep.StalledPerFIMM()
+	switch m.opt.Strategy {
+	case QueueExamination:
+		if !ep.QueueFull() {
+			return nil
+		}
+		// Blame the slot(s) holding the most stalled entries.
+		max := 0
+		for _, n := range stalled {
+			if n > max {
+				max = n
+			}
+		}
+		if max == 0 {
+			return nil
+		}
+		out := make([]bool, len(stalled))
+		any := false
+		for i, n := range stalled {
+			if n == max {
+				out[i] = true
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		return out
+	default: // LatencyMonitoring, Equation 3
+		var out []bool
+		perReq := m.busTime + m.texeRead
+		for i, n := range stalled {
+			if simx.Time(n)*perReq > m.sla {
+				if out == nil {
+					out = make([]bool, len(stalled))
+				}
+				out[i] = true
+			}
+		}
+		return out
+	}
+}
+
+// allLaggards reports whether every slot is marked.
+func (m *Manager) allLaggards(laggards []bool) bool {
+	for _, l := range laggards {
+		if !l {
+			return false
+		}
+	}
+	return len(laggards) > 0
+}
+
+// siblingFIMM picks the least-stalled non-laggard FIMM of the cluster,
+// breaking ties toward the least-worn module when wear awareness is on.
+func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool) int {
+	stalled := ep.StalledPerFIMM()
+	best, bestN := -1, int(^uint(0)>>1)
+	var bestWear uint64
+	for i, n := range stalled {
+		if laggards != nil && laggards[i] {
+			continue
+		}
+		if n > bestN {
+			continue
+		}
+		wear := uint64(0)
+		if m.opt.WearAware {
+			wear = m.arr.FTL().Wear(topo.FIMMID{ClusterID: ep.ID(), FIMM: i}).Erases
+		}
+		if n < bestN || wear < bestWear {
+			best, bestN, bestWear = i, n, wear
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// leastStalledFIMM picks the emptiest FIMM of a cluster.
+func (m *Manager) leastStalledFIMM(id topo.ClusterID) int {
+	return m.siblingFIMM(m.arr.Endpoint(id), nil)
+}
+
+// coldClusterNear applies Equation 2 under the hot cluster's switch:
+// the least-utilised cluster whose shared-bus utilisation over the
+// sampling window is below 1/nFIMM (on average at most one FIMM using
+// the bus). Triple-A never migrates across switches (Section 6.1).
+func (m *Manager) coldClusterNear(hot topo.ClusterID) (topo.ClusterID, bool) {
+	g := m.arr.Config().Geometry
+	threshold := 1 / float64(m.nFIMM)
+	best := topo.ClusterID{}
+	bestU := threshold
+	found := false
+	for c := 0; c < g.ClustersPerSwitch; c++ {
+		id := topo.ClusterID{Switch: hot.Switch, Cluster: c}
+		if id == hot {
+			continue
+		}
+		u := m.utilization(id)
+		if u < bestU {
+			best, bestU, found = id, u, true
+		}
+	}
+	return best, found
+}
+
+// utilization samples a cluster's shared-bus utilisation over the
+// sliding window, caching between window rolls.
+func (m *Manager) utilization(id topo.ClusterID) float64 {
+	g := m.arr.Config().Geometry
+	flat := id.Flat(g)
+	now := m.arr.Engine().Now()
+	elapsed := now - m.utilAt[flat]
+	if elapsed < m.opt.UtilWindow {
+		return m.utilLast[flat]
+	}
+	ep := m.arr.Endpoint(id)
+	u := ep.BusUtilizationSince(m.utilAt[flat], m.utilBusy[flat])
+	m.utilAt[flat] = now
+	m.utilBusy[flat] = ep.BusBusyNS()
+	m.utilLast[flat] = u
+	return u
+}
+
+// startMove launches one page move, deduplicating in-flight LPNs and
+// bounding concurrency.
+func (m *Manager) startMove(lpn int64, dst topo.FIMMID, canShadow bool) {
+	if m.migrating[lpn] || m.inflight >= m.opt.MaxInflightMigrations {
+		return
+	}
+	shadow := canShadow && m.opt.ShadowCloning
+	m.migrating[lpn] = true
+	m.inflight++
+	m.stats.Migrations++
+	if shadow {
+		m.stats.ShadowClones++
+	}
+	m.arr.MigratePage(lpn, dst, shadow, func(err error) {
+		delete(m.migrating, lpn)
+		m.inflight--
+		if err != nil {
+			m.stats.MigrationErrors++
+		}
+	})
+}
+
+var _ array.Hooks = (*Manager)(nil)

@@ -1,0 +1,70 @@
+// Package cost models the economics behind the paper's "non-SSD"
+// argument (Sections 3.1 and 6.5): bare NAND accounts for only 50-65 %
+// of an SSD's price — the rest is host-interface controllers, flash
+// controllers, microprocessors and on-board DRAM that are replaced
+// with every worn-out drive. Unboxing the flash onto FIMMs moves that
+// logic into the (never-replaced) management module, cutting both
+// build and maintenance cost; the model also quantifies Section 6.5's
+// trade: migration-induced lifetime loss against the cheaper
+// replacement unit.
+package cost
+
+import "fmt"
+
+// Model captures the cost structure of one storage unit (an SSD or a
+// FIMM of equal capacity), in arbitrary currency units.
+type Model struct {
+	// NANDFractionOfSSD is bare flash's share of an SSD's cost
+	// (paper: 0.50-0.65; DRAM DIMMs are 0.98 by comparison).
+	NANDFractionOfSSD float64
+	// FIMMOverhead is the FIMM's cost on top of its bare flash — PCB,
+	// the 78-pin NV-DDR2 connector, minimal protocol logic — as a
+	// fraction of the flash cost.
+	FIMMOverhead float64
+}
+
+// DefaultModel uses the paper's mid-range numbers.
+func DefaultModel() Model {
+	return Model{NANDFractionOfSSD: 0.575, FIMMOverhead: 0.05}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.NANDFractionOfSSD <= 0 || m.NANDFractionOfSSD > 1 {
+		return fmt.Errorf("cost: NANDFractionOfSSD %v outside (0,1]", m.NANDFractionOfSSD)
+	}
+	if m.FIMMOverhead < 0 {
+		return fmt.Errorf("cost: negative FIMMOverhead %v", m.FIMMOverhead)
+	}
+	return nil
+}
+
+// SSDUnitCost reports the cost of one SSD holding flash worth nand.
+func (m Model) SSDUnitCost(nand float64) float64 {
+	return nand / m.NANDFractionOfSSD
+}
+
+// FIMMUnitCost reports the cost of one FIMM holding flash worth nand.
+func (m Model) FIMMUnitCost(nand float64) float64 {
+	return nand * (1 + m.FIMMOverhead)
+}
+
+// UnitSavings reports the fractional saving of a FIMM over an SSD of
+// equal flash capacity — the paper's 35-50 % build/maintenance cut.
+func (m Model) UnitSavings() float64 {
+	const nand = 1.0
+	return 1 - m.FIMMUnitCost(nand)/m.SSDUnitCost(nand)
+}
+
+// ReplacementCostFactor compares steady-state replacement spending:
+// FIMMs wear out faster by lifetimeLoss (Section 6.5's migration
+// penalty, e.g. 0.23 worst case) but each replacement is cheaper by
+// UnitSavings. A factor below 1 means the unboxed array is cheaper to
+// maintain despite the extra wear — the paper's Section 6.5 claim.
+func (m Model) ReplacementCostFactor(lifetimeLoss float64) float64 {
+	if lifetimeLoss < 0 || lifetimeLoss >= 1 {
+		return 0
+	}
+	replacementsRatio := 1 / (1 - lifetimeLoss) // more frequent swaps
+	return replacementsRatio * (1 - m.UnitSavings())
+}

@@ -1,0 +1,69 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultModelSavings(t *testing.T) {
+	m := DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper: unboxing removes about 35-50 % of the cost.
+	s := m.UnitSavings()
+	if s < 0.35 || s > 0.50 {
+		t.Errorf("UnitSavings = %.3f, want in the paper's 0.35-0.50 band", s)
+	}
+}
+
+func TestSavingsBand(t *testing.T) {
+	// The paper's extremes: NAND at 50 % and 65 % of SSD cost.
+	lo := Model{NANDFractionOfSSD: 0.65, FIMMOverhead: 0.05}
+	hi := Model{NANDFractionOfSSD: 0.50, FIMMOverhead: 0.05}
+	if s := lo.UnitSavings(); math.Abs(s-0.3175) > 1e-9 {
+		t.Errorf("low-end savings = %v", s)
+	}
+	if s := hi.UnitSavings(); math.Abs(s-0.475) > 1e-9 {
+		t.Errorf("high-end savings = %v", s)
+	}
+}
+
+func TestUnitCosts(t *testing.T) {
+	m := Model{NANDFractionOfSSD: 0.5, FIMMOverhead: 0.1}
+	if got := m.SSDUnitCost(100); got != 200 {
+		t.Errorf("SSDUnitCost = %v", got)
+	}
+	if got := m.FIMMUnitCost(100); math.Abs(got-110) > 1e-9 {
+		t.Errorf("FIMMUnitCost = %v", got)
+	}
+}
+
+func TestReplacementCostFactor(t *testing.T) {
+	m := Model{NANDFractionOfSSD: 0.5, FIMMOverhead: 0} // 50 % saving
+	// Paper Section 6.5: 23 % lifetime loss against a 50 % cheaper unit.
+	f := m.ReplacementCostFactor(0.23)
+	want := (1 / 0.77) * 0.5
+	if math.Abs(f-want) > 1e-9 {
+		t.Errorf("factor = %v, want %v", f, want)
+	}
+	if f >= 1 {
+		t.Errorf("replacement factor %v should show a net win", f)
+	}
+	// Degenerate inputs.
+	if m.ReplacementCostFactor(-0.1) != 0 || m.ReplacementCostFactor(1) != 0 {
+		t.Error("degenerate lifetime loss not rejected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range []Model{
+		{NANDFractionOfSSD: 0, FIMMOverhead: 0},
+		{NANDFractionOfSSD: 1.5, FIMMOverhead: 0},
+		{NANDFractionOfSSD: 0.5, FIMMOverhead: -1},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("Validate accepted %+v", m)
+		}
+	}
+}

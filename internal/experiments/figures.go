@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+
+	"triplea/internal/core"
+	"triplea/internal/metrics"
+	"triplea/internal/report"
+	"triplea/internal/simx"
+	"triplea/internal/workload"
+)
+
+// Fig1 reproduces the motivation study: latency CDFs of the `read`
+// micro-benchmark on the NON-autonomic array as the number of hot
+// regions grows, plus the resulting link/storage-contention
+// degradation factors (paper: 2.4x link, 6.5x storage).
+type Fig1Result struct {
+	HotCounts   []int
+	CDFs        [][]metrics.CDFPoint // per hot count
+	LinkFactor  float64              // contention at max hot / at min hot
+	StoreFactor float64
+}
+
+// Fig1 runs the motivation experiment (cached after the first call).
+func (s *Suite) Fig1() (*Fig1Result, *report.Table, error) {
+	if s.fig1 != nil {
+		return s.fig1, s.tables["fig1"], nil
+	}
+	hotCounts := []int{1, 2, 3, 4, 5}
+	res := &Fig1Result{HotCounts: hotCounts}
+	var first, last metrics.Breakdown
+	requests := 40_000
+	if s.Requests > 0 {
+		requests = s.Requests
+	}
+	for i, h := range hotCounts {
+		p := microProfile(h, requests, 1.5)
+		rec, _, _, err := s.runOne(p, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.CDFs = append(res.CDFs, rec.CDF(10))
+		mb := rec.MeanBreakdown()
+		if i == 0 {
+			first = mb
+		}
+		if i == len(hotCounts)-1 {
+			last = mb
+		}
+	}
+	if first.LinkContention() > 0 {
+		res.LinkFactor = float64(last.LinkContention()) / float64(first.LinkContention())
+	}
+	if first.StorageContention() > 0 {
+		res.StoreFactor = float64(last.StorageContention()) / float64(first.StorageContention())
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Figure 1: baseline latency CDF vs hot regions (link degr %.1fx, storage degr %.1fx)",
+			res.LinkFactor, res.StoreFactor),
+		"CDF", "hot=1(us)", "hot=2(us)", "hot=3(us)", "hot=4(us)", "hot=5(us)")
+	for row := 0; row < 10; row++ {
+		cells := []string{fmt.Sprintf("%.0f%%", res.CDFs[0][row].Fraction*100)}
+		for _, cdf := range res.CDFs {
+			cells = append(cells, fmt.Sprintf("%.0f", cdf[row].LatencyUS))
+		}
+		t.AddRow(cells...)
+	}
+	s.fig1, s.tables["fig1"] = res, t
+	return res, t, nil
+}
+
+// Fig9 reports Triple-A's latency and sustained IOPS normalized to the
+// non-autonomic array for every workload (paper: ~5x lower latency,
+// ~2x IOPS on average; no gain for cfs/web).
+func (s *Suite) Fig9() (*report.Table, error) {
+	return s.memoTable("fig9", s.fig9)
+}
+
+func (s *Suite) fig9() (*report.Table, error) {
+	t := report.NewTable("Figure 9: Triple-A normalized to non-autonomic array",
+		"workload", "normLat", "latGain", "normIOPS", "IOPSbar")
+	for _, name := range WorkloadNames() {
+		r, err := s.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		nl, ni := r.NormLatency(), r.NormIOPS()
+		gain := "-"
+		if nl > 0 {
+			gain = fmt.Sprintf("%.1fx", 1/nl)
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", nl),
+			gain,
+			fmt.Sprintf("%.2f", ni),
+			report.Bar(ni, 3, 24),
+		)
+	}
+	return t, nil
+}
+
+// Fig10 reports the normalized link-contention, storage-contention and
+// queue-stall times (paper: link contention mostly eliminated, storage
+// contention -15%, queue stall -85%).
+func (s *Suite) Fig10() (*report.Table, error) {
+	return s.memoTable("fig10", s.fig10)
+}
+
+func (s *Suite) fig10() (*report.Table, error) {
+	t := report.NewTable("Figure 10: normalized contention and queue stall (Triple-A / baseline)",
+		"workload", "linkCont", "storCont", "queueStall")
+	for _, name := range WorkloadNames() {
+		r, err := s.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		b, a := r.Base.MeanBreakdown(), r.Auto.MeanBreakdown()
+		t.AddRow(name,
+			norm(a.LinkContention(), b.LinkContention()),
+			norm(a.StorageContention(), b.StorageContention()),
+			norm(a.QueueStall(), b.QueueStall()),
+		)
+	}
+	return t, nil
+}
+
+func norm(a, b simx.Time) string {
+	// Sub-microsecond baselines are uncontended; a ratio over noise
+	// would mislead.
+	if b < simx.Microsecond {
+		return "~"
+	}
+	return fmt.Sprintf("%.3f", float64(a)/float64(b))
+}
+
+// Fig11Workloads lists the six workloads whose CDFs the paper plots.
+var Fig11Workloads = []string{"mds", "msnfs", "proj", "prxy", "websql", "g-eigen"}
+
+// Fig11 reports latency CDFs (baseline vs Triple-A) for the six
+// workloads, exposing the long tail the paper highlights.
+func (s *Suite) Fig11() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, name := range Fig11Workloads {
+		r, err := s.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(fmt.Sprintf("Figure 11 (%s): latency CDF", name),
+			"CDF", "baseline(us)", "triple-a(us)")
+		b, a := r.Base.CDF(10), r.Auto.CDF(10)
+		for i := range b {
+			t.AddRow(fmt.Sprintf("%.0f%%", b[i].Fraction*100),
+				fmt.Sprintf("%.0f", b[i].LatencyUS),
+				fmt.Sprintf("%.0f", a[i].LatencyUS))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig12 sweeps the hot-cluster count on the `read` micro-benchmark for
+// both arrays (paper: baseline latency worsens with hot clusters;
+// Triple-A holds latency stable with better IOPS).
+func (s *Suite) Fig12() (*report.Table, error) {
+	return s.memoTable("fig12", s.fig12)
+}
+
+func (s *Suite) fig12() (*report.Table, error) {
+	t := report.NewTable("Figure 12: hot-cluster sensitivity (read micro-benchmark)",
+		"hot", "base lat(us)", "base IOPS", "3A lat(us)", "3A IOPS")
+	requests := 40_000
+	if s.Requests > 0 {
+		requests = s.Requests
+	}
+	for h := 1; h <= 6; h++ {
+		p := microProfile(h, requests, 1.5)
+		r, err := s.RunProfile(p)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", h),
+			report.FormatUS(int64(r.Base.AvgLatency())),
+			report.FormatCount(r.Base.SustainedIOPS(SustainedWindow)),
+			report.FormatUS(int64(r.Auto.AvgLatency())),
+			report.FormatCount(r.Auto.SustainedIOPS(SustainedWindow)),
+		)
+	}
+	return t, nil
+}
+
+// NetworkSizes are the clusters-per-switch sweep points (paper: 4x8 ..
+// 4x20).
+var NetworkSizes = []int{8, 12, 16, 20}
+
+// SweepResult holds the network-size sweep backing Figures 13-15.
+type SweepResult struct {
+	Size int
+	Run  *RunResult
+}
+
+// networkSweep runs the micro-benchmark across network sizes, caching
+// in the suite (Figures 13, 14 and 15 share it).
+func (s *Suite) networkSweep() ([]SweepResult, error) {
+	var out []SweepResult
+	requests := 40_000
+	if s.Requests > 0 {
+		requests = s.Requests
+	}
+	for _, size := range NetworkSizes {
+		key := fmt.Sprintf("sweep-%d", size)
+		if r, ok := s.cache[key]; ok {
+			out = append(out, SweepResult{Size: size, Run: r})
+			continue
+		}
+		sub := *s
+		sub.Config.Geometry.ClustersPerSwitch = size
+		p := microProfile(4, requests, 1.5)
+		r, err := sub.RunProfile(p)
+		if err != nil {
+			return nil, err
+		}
+		s.cache[key] = r
+		out = append(out, SweepResult{Size: size, Run: r})
+	}
+	return out, nil
+}
+
+// Fig13 reports normalized IOPS and latency across network sizes
+// (paper: Triple-A improves as the network grows — more neighbours to
+// absorb hot-cluster load).
+func (s *Suite) Fig13() (*report.Table, error) {
+	return s.memoTable("fig13", s.fig13)
+}
+
+func (s *Suite) fig13() (*report.Table, error) {
+	sweep, err := s.networkSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 13: network size sensitivity (normalized to baseline at each size)",
+		"clusters/switch", "normLat", "latGain", "normIOPS")
+	for _, sw := range sweep {
+		nl := sw.Run.NormLatency()
+		t.AddRow(fmt.Sprintf("%d", sw.Size),
+			fmt.Sprintf("%.3f", nl),
+			fmt.Sprintf("%.1fx", 1/nl),
+			fmt.Sprintf("%.2f", sw.Run.NormIOPS()))
+	}
+	return t, nil
+}
+
+// Fig14 reports the two contention times across network sizes (paper:
+// link contention nearly eliminated; storage contention steadily
+// reduced as clusters are added).
+func (s *Suite) Fig14() (*report.Table, error) {
+	return s.memoTable("fig14", s.fig14)
+}
+
+func (s *Suite) fig14() (*report.Table, error) {
+	sweep, err := s.networkSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 14: contention times normalized to baseline, by network size",
+		"clusters/switch", "linkCont", "storCont")
+	for _, sw := range sweep {
+		b, a := sw.Run.Base.MeanBreakdown(), sw.Run.Auto.MeanBreakdown()
+		t.AddRow(fmt.Sprintf("%d", sw.Size),
+			norm(a.LinkContention(), b.LinkContention()),
+			norm(a.StorageContention(), b.StorageContention()))
+	}
+	return t, nil
+}
+
+// Fig15 reports the execution-time breakdown (per-request means) on
+// both arrays across network sizes — the paper's stacked bars: RC
+// stall, switch stall, endpoint wait, link contention, storage
+// contention, cell time, transfers.
+func (s *Suite) Fig15() (*report.Table, error) {
+	return s.memoTable("fig15", s.fig15)
+}
+
+func (s *Suite) fig15() (*report.Table, error) {
+	sweep, err := s.networkSweep()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 15: execution time breakdown (us per request)",
+		"config", "RCstall", "swStall", "EPwait", "linkWait", "storWait", "texe", "xfer", "fabric")
+	row := func(label string, mb metrics.Breakdown) {
+		t.AddRow(label,
+			report.FormatUS(int64(mb.RCStall)),
+			report.FormatUS(int64(mb.SwitchStall)),
+			report.FormatUS(int64(mb.EPWait)),
+			report.FormatUS(int64(mb.LinkWait)),
+			report.FormatUS(int64(mb.StorageWait)),
+			report.FormatUS(int64(mb.Texe)),
+			report.FormatUS(int64(mb.LinkXfer)),
+			report.FormatUS(int64(mb.FabricXfer)),
+		)
+	}
+	for _, sw := range sweep {
+		row(fmt.Sprintf("base-4x%d", sw.Size), sw.Run.Base.MeanBreakdown())
+	}
+	for _, sw := range sweep {
+		row(fmt.Sprintf("3A-4x%d", sw.Size), sw.Run.Auto.MeanBreakdown())
+	}
+	return t, nil
+}
+
+// Fig16Result carries the latency time-series of the four migration
+// modes.
+type Fig16Result struct {
+	Labels []string
+	Series [][]metrics.Record
+	AvgUS  []float64
+}
+
+// Fig16 compares latency series under (a) the baseline, (b) naive data
+// migration (no shadow cloning), (c) shadow cloning, and (d) full
+// Triple-A — exposing the migration overhead shadow cloning hides.
+func (s *Suite) Fig16() (*Fig16Result, *report.Table, error) {
+	if s.fig16 != nil {
+		return s.fig16, s.tables["fig16"], nil
+	}
+	requests := 30_000
+	if s.Requests > 0 {
+		requests = s.Requests
+	}
+	p := microProfile(3, requests, 1.5)
+	reqs, _, err := workload.Generate(s.Config.Geometry, p, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	naive := s.Options
+	naive.ShadowCloning = false
+	naive.StorageManagement = false
+	shadow := s.Options
+	shadow.ShadowCloning = true
+	shadow.StorageManagement = false
+	full := s.Options
+
+	res := &Fig16Result{Labels: []string{"baseline", "naive-migration", "shadow-cloning", "triple-a"}}
+	runs := []struct {
+		name string
+		opts *core.Options
+	}{
+		{"baseline", nil},
+		{"naive-migration", &naive},
+		{"shadow-cloning", &shadow},
+		{"triple-a", &full},
+	}
+	const samples = 24
+	t := report.NewTable("Figure 16: latency series by migration mode (us, sampled over time)",
+		"sample", "baseline", "naive", "shadow", "triple-a")
+	var series [][]metrics.Record
+	for _, r := range runs {
+		rec, err := s.replayOn(reqs, r.opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		series = append(series, rec.Series(samples))
+		res.AvgUS = append(res.AvgUS, rec.AvgLatency().Micros())
+	}
+	res.Series = series
+	for i := 0; i < samples; i++ {
+		cells := []string{fmt.Sprintf("%d", i)}
+		for _, ser := range series {
+			if i < len(ser) {
+				cells = append(cells, fmt.Sprintf("%.0f", ser[i].Latency().Micros()))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Title += fmt.Sprintf(" | avg us: base=%.0f naive=%.0f shadow=%.0f 3A=%.0f",
+		res.AvgUS[0], res.AvgUS[1], res.AvgUS[2], res.AvgUS[3])
+	s.fig16, s.tables["fig16"] = res, t
+	return res, t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"triplea/internal/report"
+)
+
+// Experiment names accepted by Run and the bench command.
+var Names = []string{
+	"table1", "table2", "fig1", "fig9", "fig10", "fig11",
+	"fig12", "fig13", "fig14", "fig15", "fig16", "wear", "dram", "cost",
+}
+
+// Run executes one named experiment and renders it to w.
+func (s *Suite) Run(name string, w io.Writer) error {
+	render := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+	switch name {
+	case "table1":
+		t, err := s.Table1()
+		return render(t, err)
+	case "table2":
+		t, err := s.Table2()
+		return render(t, err)
+	case "fig1":
+		_, t, err := s.Fig1()
+		return render(t, err)
+	case "fig9":
+		t, err := s.Fig9()
+		return render(t, err)
+	case "fig10":
+		t, err := s.Fig10()
+		return render(t, err)
+	case "fig11":
+		tables, err := s.Fig11()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := render(t, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig12":
+		t, err := s.Fig12()
+		return render(t, err)
+	case "fig13":
+		t, err := s.Fig13()
+		return render(t, err)
+	case "fig14":
+		t, err := s.Fig14()
+		return render(t, err)
+	case "fig15":
+		t, err := s.Fig15()
+		return render(t, err)
+	case "fig16":
+		_, t, err := s.Fig16()
+		return render(t, err)
+	case "wear":
+		_, t, err := s.Wear()
+		return render(t, err)
+	case "dram":
+		t, err := s.DRAMStudy()
+		return render(t, err)
+	case "cost":
+		t, err := s.CostStudy()
+		return render(t, err)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+}
+
+// RunAll executes every experiment in order.
+func (s *Suite) RunAll(w io.Writer) error {
+	for _, name := range Names {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", name); err != nil {
+			return err
+		}
+		if err := s.Run(name, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"triplea/internal/report"
+	"triplea/internal/workload"
+)
+
+// Table1 re-derives the workload characteristics from the synthetic
+// traces and reports them against the published values, validating that
+// the generator reproduces Table 1.
+func (s *Suite) Table1() (*report.Table, error) {
+	return s.memoTable("table1", s.table1)
+}
+
+func (s *Suite) table1() (*report.Table, error) {
+	t := report.NewTable("Table 1: workload characteristics (published / generated)",
+		"workload", "read%", "readRand%", "writeRand%", "#hot", "hotIO%")
+	for _, p := range workload.Table1Profiles() {
+		p = s.prepare(p)
+		_, gen, err := workload.Generate(s.Config.Geometry, p, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%.1f / %.1f", p.ReadRatio*100, gen.ReadRatio()*100),
+			fmt.Sprintf("%.1f / %.1f", p.ReadRandomness*100, gen.ReadRandomness()*100),
+			fmt.Sprintf("%.1f / %.1f", p.WriteRandomness*100, gen.WriteRandomness()*100),
+			fmt.Sprintf("%d", len(gen.HotClusters)),
+			fmt.Sprintf("%.1f / %.1f", p.HotIORatio*100, gen.HotIORatio()*100),
+		)
+	}
+	return t, nil
+}
+
+// Table2 reports the absolute performance metrics of the non-autonomic
+// array for every workload: average latency, sustained IOPS, and the
+// average link-contention, storage-contention and queue-stall times —
+// the paper's Table 2 columns.
+func (s *Suite) Table2() (*report.Table, error) {
+	return s.memoTable("table2", s.table2)
+}
+
+func (s *Suite) table2() (*report.Table, error) {
+	t := report.NewTable("Table 2: non-autonomic all-flash array absolute metrics",
+		"workload", "avgLat(us)", "IOPS", "linkCont(us)", "storCont(us)", "qStall(us)")
+	for _, name := range WorkloadNames() {
+		r, err := s.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		mb := r.Base.MeanBreakdown()
+		t.AddRow(
+			name,
+			report.FormatUS(int64(r.Base.AvgLatency())),
+			report.FormatCount(r.Base.SustainedIOPS(SustainedWindow)),
+			report.FormatUS(int64(mb.LinkContention())),
+			report.FormatUS(int64(mb.StorageContention())),
+			report.FormatUS(int64(mb.QueueStall())),
+		)
+	}
+	return t, nil
+}
+
+// WearResult quantifies Section 6.5's wear analysis on a write-heavy
+// workload: migration-induced extra writes and the implied lifetime
+// reduction (paper worst case: 34% extra writes, 23% lifetime loss).
+type WearResult struct {
+	HostWrites      uint64
+	MigrationWrites uint64
+	GCWritesBase    uint64
+	GCWritesAuto    uint64
+	ExtraWriteFrac  float64 // migration writes / host writes
+	LifetimeLoss    float64 // 1 - base_total/auto_total physical writes
+}
+
+// Wear runs the wear study (cached after the first call). The paper's
+// worst case arises under migration-heavy operation, so the workload
+// mixes reads (which trigger autonomic data migration of hot pages)
+// with writes (the lifetime denominator) on a congested hot region.
+func (s *Suite) Wear() (WearResult, *report.Table, error) {
+	if s.wear != nil {
+		return *s.wear, s.tables["wear"], nil
+	}
+	p := microProfile(3, 40_000, 1.5)
+	p.Name = "mixed"
+	p.ReadRatio = 0.5
+	p.WriteRandomness = 1
+	p.Footprint = 512 // heavy overwrites keep pages hot
+	r, err := s.RunProfile(p)
+	if err != nil {
+		return WearResult{}, nil, err
+	}
+	w := WearResult{
+		HostWrites:      r.AutoFTL.HostWrites,
+		MigrationWrites: r.AutoFTL.MigrationWrites,
+		GCWritesBase:    r.BaseFTL.GCWrites,
+		GCWritesAuto:    r.AutoFTL.GCWrites,
+	}
+	if w.HostWrites > 0 {
+		w.ExtraWriteFrac = float64(w.MigrationWrites+w.GCWritesAuto-w.GCWritesBase) / float64(w.HostWrites)
+		if w.ExtraWriteFrac < 0 {
+			w.ExtraWriteFrac = float64(w.MigrationWrites) / float64(w.HostWrites)
+		}
+	}
+	baseTotal := float64(r.BaseFTL.TotalWrites())
+	autoTotal := float64(r.AutoFTL.TotalWrites())
+	if autoTotal > 0 {
+		w.LifetimeLoss = 1 - baseTotal/autoTotal
+		if w.LifetimeLoss < 0 {
+			w.LifetimeLoss = 0
+		}
+	}
+	t := report.NewTable("Section 6.5: data migration wear overhead (write micro-benchmark)",
+		"metric", "value", "paper")
+	t.AddRow("host writes", fmt.Sprintf("%d", w.HostWrites), "")
+	t.AddRow("migration writes", fmt.Sprintf("%d", w.MigrationWrites), "")
+	t.AddRow("GC writes (base -> triple-a)", fmt.Sprintf("%d -> %d", w.GCWritesBase, w.GCWritesAuto), "")
+	t.AddRow("extra writes", fmt.Sprintf("%.1f%%", w.ExtraWriteFrac*100), "<= 34% (worst case)")
+	t.AddRow("lifetime decrease", fmt.Sprintf("%.1f%%", w.LifetimeLoss*100), "<= 23% (worst case)")
+	s.wear, s.tables["wear"] = &w, t
+	return w, t, nil
+}

@@ -1,0 +1,305 @@
+// Package fimm models the Flash Inline Memory Module: eight bare NAND
+// packages soldered to a DIMM-like printed circuit board, sharing a
+// 16-data-pin channel behind the ONFI 78-pin NV-DDR2 connector (the
+// paper's Figure 6). A FIMM carries no microprocessor, no DRAM buffer
+// and no firmware — it is a passive memory device whose packages are
+// selected by chip-enable and whose ready/busy pins share one wire.
+//
+// Timing model per operation:
+//
+//	read:    cell access (nand texe, per-die parallel) → channel transfer
+//	program: channel transfer (data in)               → cell program
+//	erase:   cell erase only (no data movement)
+//
+// The channel is a capacity-1 resource; transfers across a FIMM's
+// packages serialize on it, exactly like the electrical bus.
+package fimm
+
+import (
+	"fmt"
+
+	"triplea/internal/nand"
+	"triplea/internal/simx"
+)
+
+// Params describes one FIMM.
+type Params struct {
+	NumPackages int  // NAND packages on the module (paper: 8)
+	ChannelPins int  // data pins of the shared channel (paper: 16)
+	ChannelMHz  int  // NV-DDR2 clock (paper: 400)
+	ChannelDDR  bool // double data rate
+
+	Nand nand.Params
+}
+
+// DefaultParams returns the paper's FIMM: 8 default packages on a
+// 16-pin 400 MHz NV-DDR2 channel — 64 GiB per module.
+func DefaultParams() Params {
+	return Params{
+		NumPackages: 8,
+		ChannelPins: 16,
+		ChannelMHz:  400,
+		ChannelDDR:  true,
+		Nand:        nand.DefaultParams(),
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.NumPackages <= 0:
+		return fmt.Errorf("fimm: NumPackages %d must be positive", p.NumPackages)
+	case p.ChannelPins != 8 && p.ChannelPins != 16:
+		return fmt.Errorf("fimm: ChannelPins %d must be 8 or 16", p.ChannelPins)
+	case p.ChannelMHz <= 0:
+		return fmt.Errorf("fimm: ChannelMHz %d must be positive", p.ChannelMHz)
+	}
+	return p.Nand.Validate()
+}
+
+// CapacityBytes reports the module capacity.
+func (p Params) CapacityBytes() int64 {
+	return int64(p.NumPackages) * p.Nand.BytesPerPackage()
+}
+
+// PageCount reports the number of pages on the module.
+func (p Params) PageCount() int64 {
+	return int64(p.NumPackages) * p.Nand.PagesPerPackage()
+}
+
+// ChannelBytesPerSec reports the shared channel's raw bandwidth.
+func (p Params) ChannelBytesPerSec() int64 {
+	mt := int64(p.ChannelMHz) * 1_000_000
+	if p.ChannelDDR {
+		mt *= 2
+	}
+	return mt * int64(p.ChannelPins) / 8
+}
+
+// PageTransferTime reports the channel time for one page — the tDMA of
+// Equations 1–3 evaluated at the FIMM channel.
+func (p Params) PageTransferTime() simx.Time {
+	bps := p.ChannelBytesPerSec()
+	ns := (int64(p.Nand.PageSizeBytes)*1_000_000_000 + bps - 1) / bps
+	return simx.Time(ns)
+}
+
+// Result reports the timing decomposition of one FIMM operation.
+type Result struct {
+	StorageWait simx.Time // queueing for the target die (storage contention inside the FIMM)
+	Texe        simx.Time // cell time (tR / tPROG / tBERS + controller overhead)
+	ChannelWait simx.Time // queueing for the shared FIMM channel
+	ChannelXfer simx.Time // data movement across the channel
+	Err         error
+}
+
+// Total reports the operation's total device time.
+func (r Result) Total() simx.Time {
+	return r.StorageWait + r.Texe + r.ChannelWait + r.ChannelXfer
+}
+
+// Stats aggregates FIMM activity.
+type Stats struct {
+	Reads        uint64
+	Programs     uint64
+	Erases       uint64
+	BytesMoved   int64
+	ChannelBusy  simx.Time
+	TotalErases  uint64
+	MaxBlockWear int
+}
+
+// FIMM is one flash inline memory module.
+type FIMM struct {
+	eng      *simx.Engine
+	params   Params
+	packages []*nand.Package
+	channel  *simx.Resource
+
+	stats Stats
+}
+
+// New builds a FIMM; invalid params panic (construction-time error).
+func New(eng *simx.Engine, params Params) *FIMM {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	f := &FIMM{
+		eng:     eng,
+		params:  params,
+		channel: simx.NewResource(eng, "fimm-channel", 1),
+	}
+	for i := 0; i < params.NumPackages; i++ {
+		f.packages = append(f.packages, nand.NewPackage(eng, params.Nand))
+	}
+	return f
+}
+
+// Params returns the module parameters.
+func (f *FIMM) Params() Params { return f.params }
+
+// NumPackages reports the package count.
+func (f *FIMM) NumPackages() int { return len(f.packages) }
+
+// Package exposes one NAND package (for the FTL and tests).
+func (f *FIMM) Package(i int) *nand.Package { return f.packages[i] }
+
+// Busy reports the module's single ready/busy wire: asserted while any
+// package executes or the channel is moving data.
+func (f *FIMM) Busy() bool {
+	if f.channel.InUse() > 0 {
+		return true
+	}
+	for _, pk := range f.packages {
+		if pk.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// ChannelQueueLen reports how many transfers wait for the channel.
+func (f *FIMM) ChannelQueueLen() int { return f.channel.QueueLen() }
+
+// ChannelBusyNS reports the channel's accumulated busy time, for
+// utilisation sampling.
+func (f *FIMM) ChannelBusyNS() simx.Time { return f.channel.BusyNS() }
+
+// ChannelUtilizationSince reports channel utilisation over a window.
+func (f *FIMM) ChannelUtilizationSince(since simx.Time, busyAtSince simx.Time) float64 {
+	return f.channel.UtilizationSince(since, busyAtSince)
+}
+
+// Stats returns a snapshot of module activity, aggregating wear across
+// packages.
+func (f *FIMM) Stats() Stats {
+	s := f.stats
+	s.ChannelBusy = f.channel.BusyNS()
+	for _, pk := range f.packages {
+		ps := pk.Stats()
+		s.TotalErases += ps.Erases
+		if ps.MaxEraseWear > s.MaxBlockWear {
+			s.MaxBlockWear = ps.MaxEraseWear
+		}
+	}
+	return s
+}
+
+func (f *FIMM) checkPkg(pkg int) error {
+	if pkg < 0 || pkg >= len(f.packages) {
+		return fmt.Errorf("fimm: package %d out of range [0,%d)", pkg, len(f.packages))
+	}
+	return nil
+}
+
+// Read performs a cell read on the addressed package then moves the
+// pages across the shared channel. done receives the timing split.
+func (f *FIMM) Read(pkg int, addrs []nand.Addr, done func(Result)) {
+	if done == nil {
+		panic("fimm: nil done callback")
+	}
+	if err := f.checkPkg(pkg); err != nil {
+		done(Result{Err: err})
+		return
+	}
+	f.packages[pkg].Read(addrs, func(texe simx.Time, err error) {
+		if err != nil {
+			done(Result{Err: err})
+			return
+		}
+		// texe from nand includes die queueing; split out the nominal
+		// cell time so storage contention is visible separately.
+		wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpRead, len(addrs)))
+		xfer := f.params.PageTransferTime() * simx.Time(len(addrs))
+		f.channel.Acquire(func(waited simx.Time) {
+			f.eng.Schedule(xfer, func() {
+				f.channel.Release()
+				f.stats.Reads += uint64(len(addrs))
+				f.stats.BytesMoved += int64(len(addrs)) * int64(f.params.Nand.PageSizeBytes)
+				done(Result{
+					StorageWait: wait,
+					Texe:        cell,
+					ChannelWait: waited,
+					ChannelXfer: xfer,
+				})
+			})
+		})
+	})
+}
+
+// Program moves the pages across the channel into the package's data
+// register, then programs the cells.
+func (f *FIMM) Program(pkg int, addrs []nand.Addr, done func(Result)) {
+	if done == nil {
+		panic("fimm: nil done callback")
+	}
+	if err := f.checkPkg(pkg); err != nil {
+		done(Result{Err: err})
+		return
+	}
+	xfer := f.params.PageTransferTime() * simx.Time(len(addrs))
+	f.channel.Acquire(func(waited simx.Time) {
+		f.eng.Schedule(xfer, func() {
+			f.channel.Release()
+			f.packages[pkg].Program(addrs, func(texe simx.Time, err error) {
+				if err != nil {
+					done(Result{ChannelWait: waited, ChannelXfer: xfer, Err: err})
+					return
+				}
+				wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpProgram, len(addrs)))
+				f.stats.Programs += uint64(len(addrs))
+				f.stats.BytesMoved += int64(len(addrs)) * int64(f.params.Nand.PageSizeBytes)
+				done(Result{
+					StorageWait: wait,
+					Texe:        cell,
+					ChannelWait: waited,
+					ChannelXfer: xfer,
+				})
+			})
+		})
+	})
+}
+
+// splitDeviceTime decomposes a device-observed time into (queueing,
+// nominal cell time). Cache-mode hits finish faster than nominal; then
+// the whole observed time is cell time and queueing is zero.
+func splitDeviceTime(observed, nominal simx.Time) (wait, cell simx.Time) {
+	if observed <= nominal {
+		return 0, observed
+	}
+	return observed - nominal, nominal
+}
+
+// Erase erases blocks on the addressed package.
+func (f *FIMM) Erase(pkg int, addrs []nand.Addr, done func(Result)) {
+	if done == nil {
+		panic("fimm: nil done callback")
+	}
+	if err := f.checkPkg(pkg); err != nil {
+		done(Result{Err: err})
+		return
+	}
+	f.packages[pkg].Erase(addrs, func(texe simx.Time, err error) {
+		if err != nil {
+			done(Result{Err: err})
+			return
+		}
+		wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpErase, len(addrs)))
+		f.stats.Erases += uint64(len(addrs))
+		done(Result{StorageWait: wait, Texe: cell})
+	})
+}
+
+// cellTime reports the nominal (queue-free) cell time of an op.
+func (f *FIMM) cellTime(op nand.Op, n int) simx.Time {
+	p := f.params.Nand
+	switch op {
+	case nand.OpRead:
+		return p.TCmdOverhead + p.TRead + p.TECCPerPage
+	case nand.OpProgram:
+		return p.TCmdOverhead + p.TProg + p.TECCPerPage
+	case nand.OpErase:
+		return p.TCmdOverhead + p.TErase
+	}
+	panic("fimm: unknown op")
+}

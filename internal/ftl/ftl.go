@@ -1,0 +1,405 @@
+// Package ftl implements the array-global flash translation layer that
+// Triple-A hoists out of individual SSDs into the autonomic management
+// module (paper Section 2.3 and Figure 5): logical→physical address
+// translation, out-of-place page allocation, greedy garbage collection
+// and wear-aware free-block selection, all at array scope so the
+// manager can reshape the physical data layout across clusters and
+// FIMMs.
+//
+// The FTL is pure policy and bookkeeping: it decides *where* pages live
+// and which device operations are required, while the array layer
+// executes those operations against the simulated hardware and charges
+// their time.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"triplea/internal/topo"
+)
+
+// Layout selects the static logical→physical placement of
+// never-yet-written data.
+type Layout int
+
+const (
+	// LayoutClustered maps contiguous LPN ranges onto successive FIMMs
+	// and clusters (a concatenation), so logically hot regions become
+	// physically hot clusters — the regime the paper studies.
+	LayoutClustered Layout = iota
+	// LayoutStriped round-robins consecutive LPNs across all FIMMs,
+	// spreading load at page granularity.
+	LayoutStriped
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutClustered:
+		return "clustered"
+	case LayoutStriped:
+		return "striped"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNoSpace reports that a FIMM has no free block to allocate from;
+// the caller must garbage-collect first.
+var ErrNoSpace = errors.New("ftl: no free blocks on target FIMM")
+
+// WriteKind classifies why a physical write happens, for wear
+// accounting (Section 6.5 charges migration-induced writes separately).
+type WriteKind int
+
+const (
+	WriteHost      WriteKind = iota // a host write
+	WriteGC                         // garbage-collection relocation
+	WriteMigration                  // autonomic migration / reshaping
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteHost:
+		return "host"
+	case WriteGC:
+		return "gc"
+	case WriteMigration:
+		return "migration"
+	default:
+		return "unknown"
+	}
+}
+
+// WriteAlloc describes the device work for one page write: program New,
+// and mark Old stale if the LPN was previously mapped.
+type WriteAlloc struct {
+	LPN    int64
+	New    topo.PPN
+	Old    topo.PPN
+	HasOld bool
+}
+
+// Stats aggregates FTL activity.
+type Stats struct {
+	HostWrites      uint64
+	GCWrites        uint64
+	MigrationWrites uint64
+	Prepopulated    uint64
+	GCErases        uint64
+	GCPlans         uint64
+}
+
+// TotalWrites reports all physical page programs the FTL has allocated.
+func (s Stats) TotalWrites() uint64 { return s.HostWrites + s.GCWrites + s.MigrationWrites }
+
+// WriteAmplification reports total physical writes per host write.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.TotalWrites()) / float64(s.HostWrites)
+}
+
+// FTL is the array-global translation layer. It is not safe for
+// concurrent use; the discrete-event simulation is single-threaded.
+type FTL struct {
+	geom        topo.Geometry
+	layout      Layout
+	gcThreshold int // free blocks per unit below which GC is wanted
+
+	pageMap map[int64]topo.PPN // lpn -> current ppn
+	reverse map[topo.PPN]int64 // ppn -> lpn, dynamic pages only
+
+	fimms map[int]*fimmAlloc // flat FIMM id -> allocator state
+
+	stats Stats
+}
+
+// Option configures the FTL.
+type Option func(*FTL)
+
+// WithLayout selects the static data layout (default LayoutClustered).
+func WithLayout(l Layout) Option { return func(f *FTL) { f.layout = l } }
+
+// WithGCThreshold sets the per-unit free-block low-water mark (default 2).
+func WithGCThreshold(n int) Option { return func(f *FTL) { f.gcThreshold = n } }
+
+// New builds an FTL for the geometry; an invalid geometry panics.
+func New(geom topo.Geometry, opts ...Option) *FTL {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	f := &FTL{
+		geom:        geom,
+		layout:      LayoutClustered,
+		gcThreshold: 2,
+		pageMap:     make(map[int64]topo.PPN),
+		reverse:     make(map[topo.PPN]int64),
+		fimms:       make(map[int]*fimmAlloc),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Geometry returns the array geometry.
+func (f *FTL) Geometry() topo.Geometry { return f.geom }
+
+// Layout returns the configured static layout.
+func (f *FTL) Layout() Layout { return f.layout }
+
+// Stats returns a snapshot of FTL activity.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// MappedPages reports how many LPNs currently have a translation.
+func (f *FTL) MappedPages() int { return len(f.pageMap) }
+
+// ForEachMapping visits every (LPN, PPN) translation; returning false
+// stops the walk. Iteration order is unspecified.
+func (f *FTL) ForEachMapping(visit func(lpn int64, ppn topo.PPN) bool) {
+	for lpn, ppn := range f.pageMap {
+		if !visit(lpn, ppn) {
+			return
+		}
+	}
+}
+
+func (f *FTL) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= f.geom.TotalPages() {
+		return fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, f.geom.TotalPages())
+	}
+	return nil
+}
+
+// home computes the static placement of an LPN: its home FIMM and the
+// FIMM-local page index used for dense prepopulation.
+func (f *FTL) home(lpn int64) (fimmFlat int, fp int64) {
+	switch f.layout {
+	case LayoutStriped:
+		n := int64(f.geom.TotalFIMMs())
+		return int(lpn % n), lpn / n
+	default: // LayoutClustered
+		per := f.geom.PagesPerFIMM()
+		return int(lpn / per), lpn % per
+	}
+}
+
+// HomeFIMM reports the LPN's static home FIMM.
+func (f *FTL) HomeFIMM(lpn int64) topo.FIMMID {
+	if err := f.checkLPN(lpn); err != nil {
+		panic(err)
+	}
+	flat, _ := f.home(lpn)
+	return topo.FIMMFromFlat(f.geom, flat)
+}
+
+// HomeCluster reports the LPN's static home cluster.
+func (f *FTL) HomeCluster(lpn int64) topo.ClusterID { return f.HomeFIMM(lpn).ClusterID }
+
+// Lookup reports the LPN's current physical page, if mapped.
+func (f *FTL) Lookup(lpn int64) (topo.PPN, bool) {
+	ppn, ok := f.pageMap[lpn]
+	return ppn, ok
+}
+
+// ResidentFIMM reports where the LPN currently lives: its mapped
+// location, or its home if never written.
+func (f *FTL) ResidentFIMM(lpn int64) topo.FIMMID {
+	if ppn, ok := f.pageMap[lpn]; ok {
+		return ppn.FIMMID()
+	}
+	return f.HomeFIMM(lpn)
+}
+
+// LPNOf reports the logical page currently stored at ppn, if any.
+func (f *FTL) LPNOf(ppn topo.PPN) (int64, bool) {
+	if lpn, ok := f.reverse[ppn]; ok {
+		return lpn, ok
+	}
+	// Dense pages are analytically invertible.
+	fa := f.fimms[ppn.FIMMID().Flat(f.geom)]
+	if fa == nil {
+		return 0, false
+	}
+	return fa.denseLPN(f, ppn)
+}
+
+// densePPN computes the dense (prepopulated) physical location for a
+// FIMM-local page index: consecutive indices stripe across parallel
+// units for maximum die-level parallelism.
+func (f *FTL) densePPN(fimmFlat int, fp int64) topo.PPN {
+	g := f.geom
+	u := g.ParallelUnitsPerFIMM()
+	planes := g.Nand.PlanesPerDie
+	dies := g.Nand.DiesPerPackage
+	unit := int(fp % int64(u))
+	rest := fp / int64(u)
+	pageInBlock := int(rest % int64(g.Nand.PagesPerBlock))
+	planeLocalBlock := int(rest / int64(g.Nand.PagesPerBlock))
+
+	pkg := unit / (dies * planes)
+	die := (unit / planes) % dies
+	plane := unit % planes
+	block := planeLocalBlock*planes + plane
+
+	id := topo.FIMMFromFlat(g, fimmFlat)
+	return topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, block, pageInBlock)
+}
+
+// denseFP inverts densePPN: the FIMM-local page index of a dense PPN.
+func (f *FTL) denseFP(ppn topo.PPN) int64 {
+	g := f.geom
+	planes := g.Nand.PlanesPerDie
+	dies := g.Nand.DiesPerPackage
+	plane := ppn.Block() % planes
+	planeLocalBlock := ppn.Block() / planes
+	unit := (ppn.Pkg()*dies+ppn.Die())*planes + plane
+	rest := int64(planeLocalBlock)*int64(g.Nand.PagesPerBlock) + int64(ppn.Page())
+	return rest*int64(g.ParallelUnitsPerFIMM()) + int64(unit)
+}
+
+// lpnFromHome inverts home(): the LPN whose static placement is
+// (fimmFlat, fp).
+func (f *FTL) lpnFromHome(fimmFlat int, fp int64) int64 {
+	switch f.layout {
+	case LayoutStriped:
+		return fp*int64(f.geom.TotalFIMMs()) + int64(fimmFlat)
+	default:
+		return int64(fimmFlat)*f.geom.PagesPerFIMM() + fp
+	}
+}
+
+// Prepopulate installs the static mapping for an LPN that the workload
+// reads without ever having written (pre-existing data). It reports the
+// assigned PPN and whether the caller must force-populate the device
+// page (false when the LPN was already mapped).
+//
+// If the dense home location was consumed by dynamic allocation, the
+// page is allocated out-of-place instead, like a write.
+func (f *FTL) Prepopulate(lpn int64) (topo.PPN, bool, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, false, err
+	}
+	if ppn, ok := f.pageMap[lpn]; ok {
+		return ppn, false, nil
+	}
+	fimmFlat, fp := f.home(lpn)
+	ppn := f.densePPN(fimmFlat, fp)
+	fa := f.fimmAllocFor(fimmFlat)
+	if fa.claimDense(f, ppn) {
+		f.pageMap[lpn] = ppn
+		f.stats.Prepopulated++
+		return ppn, true, nil
+	}
+	// Dense slot unavailable (its block was dynamically allocated):
+	// fall back to out-of-place allocation on the home FIMM.
+	wa, err := f.allocate(lpn, topo.FIMMFromFlat(f.geom, fimmFlat), WriteHost)
+	if err != nil {
+		return 0, false, err
+	}
+	f.stats.HostWrites-- // not a real host write
+	f.stats.Prepopulated++
+	return wa.New, true, nil
+}
+
+// AllocateWrite allocates the physical page for a host write. The data
+// lands on the LPN's resident FIMM, preserving the current layout
+// (which the autonomic manager may have reshaped).
+func (f *FTL) AllocateWrite(lpn int64) (WriteAlloc, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return WriteAlloc{}, err
+	}
+	return f.allocate(lpn, f.ResidentFIMM(lpn), WriteHost)
+}
+
+// AllocateWriteAt allocates a host write on an explicit FIMM — the
+// redirect primitive data-layout reshaping uses for stalled writes.
+func (f *FTL) AllocateWriteAt(lpn int64, target topo.FIMMID) (WriteAlloc, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return WriteAlloc{}, err
+	}
+	return f.allocate(lpn, target, WriteHost)
+}
+
+// Relocate allocates a migration write moving the LPN's current data to
+// target (autonomic data migration and data-layout reshaping). The
+// caller copies the data and programs WriteAlloc.New; the old page is
+// unlinked.
+func (f *FTL) Relocate(lpn int64, target topo.FIMMID) (WriteAlloc, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return WriteAlloc{}, err
+	}
+	if _, ok := f.pageMap[lpn]; !ok {
+		return WriteAlloc{}, fmt.Errorf("ftl: relocate of unmapped LPN %d", lpn)
+	}
+	return f.allocate(lpn, target, WriteMigration)
+}
+
+func (f *FTL) allocate(lpn int64, target topo.FIMMID, kind WriteKind) (WriteAlloc, error) {
+	fa := f.fimmAllocFor(target.Flat(f.geom))
+	ppn, err := fa.allocPage(f, target)
+	if err != nil {
+		return WriteAlloc{}, err
+	}
+	wa := WriteAlloc{LPN: lpn, New: ppn}
+	if old, ok := f.pageMap[lpn]; ok {
+		wa.Old, wa.HasOld = old, true
+		f.unlink(lpn, old)
+	}
+	f.pageMap[lpn] = ppn
+	f.reverse[ppn] = lpn
+	switch kind {
+	case WriteGC:
+		f.stats.GCWrites++
+	case WriteMigration:
+		f.stats.MigrationWrites++
+	default:
+		f.stats.HostWrites++
+	}
+	return wa, nil
+}
+
+// unlink removes the lpn->old edge bookkeeping: reverse entry and the
+// block's valid count.
+func (f *FTL) unlink(lpn int64, old topo.PPN) {
+	delete(f.reverse, old)
+	if fa := f.fimms[old.FIMMID().Flat(f.geom)]; fa != nil {
+		fa.markStale(f, old)
+	}
+}
+
+// fimmAllocFor returns (creating lazily) the allocator for a FIMM.
+func (f *FTL) fimmAllocFor(flat int) *fimmAlloc {
+	fa := f.fimms[flat]
+	if fa == nil {
+		fa = newFIMMAlloc(f.geom)
+		f.fimms[flat] = fa
+	}
+	return fa
+}
+
+// FIMMWear summarises wear on one FIMM.
+type FIMMWear struct {
+	Erases   uint64
+	MaxBlock int // highest per-block erase count
+}
+
+// Wear reports wear for one FIMM.
+func (f *FTL) Wear(id topo.FIMMID) FIMMWear {
+	fa := f.fimms[id.Flat(f.geom)]
+	if fa == nil {
+		return FIMMWear{}
+	}
+	return fa.wear()
+}
+
+// TotalErases reports erases across the whole array.
+func (f *FTL) TotalErases() uint64 {
+	var n uint64
+	for _, fa := range f.fimms {
+		n += fa.wear().Erases
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package ftl
+
+import (
+	"fmt"
+
+	"triplea/internal/topo"
+)
+
+// GCMove is one valid page to relocate out of a victim block.
+type GCMove struct {
+	LPN int64
+	Src topo.PPN
+}
+
+// GCPlan describes one garbage-collection round on a FIMM: relocate
+// every Move, then erase Victim's block. The array layer executes the
+// device operations and charges their time; the plan is pure policy.
+type GCPlan struct {
+	FIMM   topo.FIMMID
+	Victim topo.PPN // page 0 of the victim block
+	Moves  []GCMove
+}
+
+// GCPressure reports whether any parallel unit of the FIMM has fewer
+// free blocks than the configured threshold.
+func (f *FTL) GCPressure(id topo.FIMMID) bool {
+	fa := f.fimms[id.Flat(f.geom)]
+	if fa == nil {
+		return false
+	}
+	for _, u := range fa.units {
+		if u.freeBlocks(f.geom.Nand.BlocksPerPlane) < f.gcThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// MinFreeBlocks reports the free-block count of the FIMM's most
+// pressured parallel unit (the urgency signal for GC scheduling).
+func (f *FTL) MinFreeBlocks(id topo.FIMMID) int {
+	fa := f.fimms[id.Flat(f.geom)]
+	if fa == nil {
+		return f.geom.Nand.BlocksPerPlane
+	}
+	min := f.geom.Nand.BlocksPerPlane
+	for _, u := range fa.units {
+		if free := u.freeBlocks(f.geom.Nand.BlocksPerPlane); free < min {
+			min = free
+		}
+	}
+	return min
+}
+
+// PlanGC picks a victim block on the FIMM (greedy: fewest valid pages
+// in the most pressured unit) and lists the moves needed. It reports
+// false when no unit is under pressure or no reclaimable block exists.
+// A non-nil veto excludes candidate victim blocks (identified by their
+// page-0 PPN) — the array vetoes blocks with in-flight buffered writes.
+func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
+	fa := f.fimms[id.Flat(f.geom)]
+	if fa == nil {
+		return nil, false
+	}
+	g := f.geom
+
+	// Most pressured unit first.
+	unitIdx, minFree := -1, int(^uint(0)>>1)
+	for i, u := range fa.units {
+		free := u.freeBlocks(g.Nand.BlocksPerPlane)
+		if free < f.gcThreshold && free < minFree {
+			unitIdx, minFree = i, free
+		}
+	}
+	if unitIdx < 0 {
+		return nil, false
+	}
+	u := fa.units[unitIdx]
+
+	// Greedy victim: reclaimable (full or dense) block with fewest
+	// valid pages, skipping vetoed blocks.
+	pkg, die, plane := unitCoords(g, unitIdx)
+	victimBlock, victimValid := -1, int(^uint(0)>>1)
+	for b, bi := range u.touched {
+		if bi.state != blockFull && bi.state != blockDense {
+			continue
+		}
+		if bi.valid >= victimValid {
+			continue
+		}
+		if veto != nil {
+			dieBlock := b*g.Nand.PlanesPerDie + plane
+			if veto(topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)) {
+				continue
+			}
+		}
+		victimBlock, victimValid = b, bi.valid
+	}
+	if victimBlock < 0 {
+		return nil, false
+	}
+
+	dieBlock := victimBlock*g.Nand.PlanesPerDie + plane
+	plan := &GCPlan{
+		FIMM:   id,
+		Victim: topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0),
+	}
+	bi := u.touched[victimBlock]
+	for page := 0; page < g.Nand.PagesPerBlock; page++ {
+		if !bi.isValid(page) {
+			continue
+		}
+		src := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, page)
+		lpn, ok := f.LPNOf(src)
+		if !ok {
+			panic(fmt.Sprintf("ftl: valid page %v has no LPN", src))
+		}
+		plan.Moves = append(plan.Moves, GCMove{LPN: lpn, Src: src})
+	}
+	f.stats.GCPlans++
+	return plan, true
+}
+
+// AllocateGCMove allocates the destination for one GC move, on the same
+// FIMM the victim lives on.
+func (f *FTL) AllocateGCMove(m GCMove) (WriteAlloc, error) {
+	cur, ok := f.pageMap[m.LPN]
+	if !ok || cur != m.Src {
+		// The page moved (e.g. a host write landed) since planning; the
+		// move is obsolete.
+		return WriteAlloc{}, fmt.Errorf("ftl: GC move of %d is stale", m.LPN)
+	}
+	return f.allocate(m.LPN, m.Src.FIMMID(), WriteGC)
+}
+
+// CompleteGCErase finalises a plan after the device erased the victim:
+// the block returns to the free pool with its wear incremented.
+func (f *FTL) CompleteGCErase(plan *GCPlan) error {
+	fa := f.fimms[plan.FIMM.Flat(f.geom)]
+	if fa == nil {
+		return fmt.Errorf("ftl: CompleteGCErase on untouched FIMM %v", plan.FIMM)
+	}
+	g := f.geom
+	u := fa.unitOf(g, plan.Victim)
+	b := planeLocalBlock(g, plan.Victim)
+	bi := u.touched[b]
+	if bi == nil {
+		return fmt.Errorf("ftl: victim block %v unknown", plan.Victim)
+	}
+	if bi.valid != 0 {
+		return fmt.Errorf("ftl: victim block %v still has %d valid pages", plan.Victim, bi.valid)
+	}
+	if bi.state != blockFull && bi.state != blockDense {
+		return fmt.Errorf("ftl: victim block %v in state %d not reclaimable", plan.Victim, bi.state)
+	}
+	bi.state = blockFree
+	bi.erase++
+	bi.next = 0
+	for i := range bi.mask {
+		bi.mask[i] = 0
+	}
+	u.allocated--
+	u.freeList = append(u.freeList, b)
+	fa.erases++
+	f.stats.GCErases++
+	return nil
+}

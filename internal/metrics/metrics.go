@@ -1,0 +1,319 @@
+// Package metrics collects and summarises per-request measurements:
+// latency distributions (CDFs, percentiles, long tails), IOPS, and the
+// execution-time breakdown the paper reports in Figure 15 (RC stall,
+// switch stall, endpoint stall, link-contention time, storage-contention
+// time, cell time, transfer times).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"triplea/internal/simx"
+)
+
+// Breakdown decomposes one request's life, or sums many requests'.
+//
+// LinkCause and StorageCause re-attribute the upstream queueing
+// (RCStall + SwitchStall) to its root cause, the way the paper
+// classifies stalled requests: a request backed up behind a saturated
+// shared bus counts toward link contention, one backed up behind a busy
+// FIMM toward storage contention. They are views onto RCStall +
+// SwitchStall, so Total excludes them.
+type Breakdown struct {
+	RCStall     simx.Time // waiting for root-complex queue admission / port
+	SwitchStall simx.Time // held in switch ingress for a busy egress
+	EPWait      simx.Time // endpoint queue / write-buffer admission
+	StorageWait simx.Time // die queueing inside the FIMM (storage contention)
+	LinkWait    simx.Time // FIMM channel + cluster shared bus queueing (link contention)
+	Texe        simx.Time // flash cell time
+	LinkXfer    simx.Time // FIMM channel + shared bus data movement
+	FabricXfer  simx.Time // PCI-E wire serialisation, propagation, routing
+
+	LinkCause    simx.Time // upstream stall attributed to link contention
+	StorageCause simx.Time // upstream stall attributed to storage contention
+}
+
+// Add accumulates b into the receiver.
+func (b *Breakdown) Add(o Breakdown) {
+	b.RCStall += o.RCStall
+	b.SwitchStall += o.SwitchStall
+	b.EPWait += o.EPWait
+	b.StorageWait += o.StorageWait
+	b.LinkWait += o.LinkWait
+	b.Texe += o.Texe
+	b.LinkXfer += o.LinkXfer
+	b.FabricXfer += o.FabricXfer
+	b.LinkCause += o.LinkCause
+	b.StorageCause += o.StorageCause
+}
+
+// AttributeShare splits the upstream queueing (RCStall + SwitchStall)
+// into LinkCause and StorageCause with an externally supplied link
+// share in [0,1] — the array derives it from the target cluster's
+// shared-bus saturation and the request's own device-side waits.
+func (b *Breakdown) AttributeShare(linkShare float64) {
+	upstream := b.RCStall + b.SwitchStall
+	if upstream <= 0 || b.LinkWait+b.EPWait+b.StorageWait <= 0 {
+		b.LinkCause, b.StorageCause = 0, 0
+		return
+	}
+	if linkShare < 0 {
+		linkShare = 0
+	}
+	if linkShare > 1 {
+		linkShare = 1
+	}
+	b.LinkCause = simx.Time(float64(upstream) * linkShare)
+	b.StorageCause = upstream - b.LinkCause
+}
+
+// Attribute splits the upstream queueing proportionally to the
+// device-side waits that caused the backlog.
+func (b *Breakdown) Attribute() {
+	device := b.LinkWait + b.EPWait + b.StorageWait
+	if device <= 0 {
+		b.LinkCause, b.StorageCause = 0, 0
+		return
+	}
+	b.AttributeShare(float64(b.LinkWait) / float64(device))
+}
+
+// Total reports the sum of all components.
+func (b Breakdown) Total() simx.Time {
+	return b.RCStall + b.SwitchStall + b.EPWait + b.StorageWait +
+		b.LinkWait + b.Texe + b.LinkXfer + b.FabricXfer
+}
+
+// QueueStall reports the time spent stalled in queues (the paper's
+// queue stall metric): everything except execution and data movement.
+func (b Breakdown) QueueStall() simx.Time {
+	return b.RCStall + b.SwitchStall + b.EPWait + b.StorageWait + b.LinkWait
+}
+
+// LinkContention reports the link-contention component: direct bus
+// queueing plus the upstream backlog it caused.
+func (b Breakdown) LinkContention() simx.Time { return b.LinkWait + b.LinkCause }
+
+// StorageContention reports the storage-contention component: queueing
+// for the device itself, at the endpoint and on the dies, plus the
+// upstream backlog it caused.
+func (b Breakdown) StorageContention() simx.Time {
+	return b.EPWait + b.StorageWait + b.StorageCause
+}
+
+// Scale divides every component by n (for means).
+func (b Breakdown) Scale(n int) Breakdown {
+	if n <= 0 {
+		return Breakdown{}
+	}
+	d := simx.Time(n)
+	return Breakdown{
+		RCStall: b.RCStall / d, SwitchStall: b.SwitchStall / d,
+		EPWait: b.EPWait / d, StorageWait: b.StorageWait / d,
+		LinkWait: b.LinkWait / d, Texe: b.Texe / d,
+		LinkXfer: b.LinkXfer / d, FabricXfer: b.FabricXfer / d,
+		LinkCause: b.LinkCause / d, StorageCause: b.StorageCause / d,
+	}
+}
+
+// RequestKind distinguishes reads from writes in the records.
+type RequestKind uint8
+
+const (
+	Read RequestKind = iota
+	Write
+)
+
+func (k RequestKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Record is one completed request's measurement.
+type Record struct {
+	ID       uint64
+	Kind     RequestKind
+	Pages    int
+	Submit   simx.Time
+	Complete simx.Time
+	Breakdown
+}
+
+// Latency reports the request's end-to-end latency.
+func (r Record) Latency() simx.Time { return r.Complete - r.Submit }
+
+// CDFPoint is one point of a cumulative distribution function.
+type CDFPoint struct {
+	LatencyUS float64 // latency in microseconds
+	Fraction  float64 // fraction of requests at or below it
+}
+
+// Recorder accumulates request records for one run.
+type Recorder struct {
+	records []Record
+	sums    Breakdown
+
+	reads, writes uint64
+	firstSubmit   simx.Time
+	lastComplete  simx.Time
+	latSum        simx.Time
+
+	sorted []simx.Time // cached sorted latencies
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{firstSubmit: -1}
+}
+
+// Record adds one completed request.
+func (rc *Recorder) Record(r Record) {
+	if r.Complete < r.Submit {
+		panic(fmt.Sprintf("metrics: completion %v before submit %v", r.Complete, r.Submit))
+	}
+	rc.records = append(rc.records, r)
+	rc.sums.Add(r.Breakdown)
+	rc.latSum += r.Latency()
+	if r.Kind == Read {
+		rc.reads++
+	} else {
+		rc.writes++
+	}
+	if rc.firstSubmit < 0 || r.Submit < rc.firstSubmit {
+		rc.firstSubmit = r.Submit
+	}
+	if r.Complete > rc.lastComplete {
+		rc.lastComplete = r.Complete
+	}
+	rc.sorted = nil
+}
+
+// Count reports completed requests.
+func (rc *Recorder) Count() int { return len(rc.records) }
+
+// Reads and Writes report per-kind counts.
+func (rc *Recorder) Reads() uint64  { return rc.reads }
+func (rc *Recorder) Writes() uint64 { return rc.writes }
+
+// Records exposes the raw records (callers must not mutate).
+func (rc *Recorder) Records() []Record { return rc.records }
+
+// AvgLatency reports the mean end-to-end latency.
+func (rc *Recorder) AvgLatency() simx.Time {
+	if len(rc.records) == 0 {
+		return 0
+	}
+	return rc.latSum / simx.Time(len(rc.records))
+}
+
+// IOPS reports completed requests per second of simulated wall time
+// between the first submission and the last completion.
+func (rc *Recorder) IOPS() float64 {
+	if len(rc.records) == 0 {
+		return 0
+	}
+	span := rc.lastComplete - rc.firstSubmit
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(rc.records)) / (float64(span) / float64(simx.Second))
+}
+
+// SustainedIOPS reports the array's sustained throughput: the highest
+// completion rate over any aligned window of the given width. Under a
+// bursty offered load a congested array's sustained rate pins at its
+// bottleneck capacity while an uncongested one tracks the burst rate —
+// the "sustained throughput" the paper's abstract compares.
+func (rc *Recorder) SustainedIOPS(window simx.Time) float64 {
+	if len(rc.records) == 0 || window <= 0 {
+		return 0
+	}
+	buckets := make(map[int64]int)
+	best := 0
+	for _, r := range rc.records {
+		b := int64(r.Complete / window)
+		buckets[b]++
+		if buckets[b] > best {
+			best = buckets[b]
+		}
+	}
+	return float64(best) / (float64(window) / float64(simx.Second))
+}
+
+// SumBreakdown reports the summed component times.
+func (rc *Recorder) SumBreakdown() Breakdown { return rc.sums }
+
+// MeanBreakdown reports the per-request mean of each component.
+func (rc *Recorder) MeanBreakdown() Breakdown { return rc.sums.Scale(len(rc.records)) }
+
+func (rc *Recorder) ensureSorted() {
+	if rc.sorted != nil {
+		return
+	}
+	rc.sorted = make([]simx.Time, len(rc.records))
+	for i, r := range rc.records {
+		rc.sorted[i] = r.Latency()
+	}
+	sort.Slice(rc.sorted, func(i, j int) bool { return rc.sorted[i] < rc.sorted[j] })
+}
+
+// Percentile reports the p-th latency percentile, p in [0,100].
+func (rc *Recorder) Percentile(p float64) simx.Time {
+	if len(rc.records) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+	}
+	rc.ensureSorted()
+	idx := int(p / 100 * float64(len(rc.sorted)-1))
+	return rc.sorted[idx]
+}
+
+// MaxLatency reports the slowest request.
+func (rc *Recorder) MaxLatency() simx.Time { return rc.Percentile(100) }
+
+// CDF samples the latency CDF at n evenly spaced fractions, suitable
+// for plotting against the paper's Figures 1 and 11.
+func (rc *Recorder) CDF(n int) []CDFPoint {
+	if len(rc.records) == 0 || n <= 0 {
+		return nil
+	}
+	rc.ensureSorted()
+	pts := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(frac*float64(len(rc.sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pts = append(pts, CDFPoint{
+			LatencyUS: rc.sorted[idx].Micros(),
+			Fraction:  frac,
+		})
+	}
+	return pts
+}
+
+// Series reports (submit-time, latency) pairs downsampled to at most n
+// points, in submission order — the paper's Figure 16 time-series view.
+func (rc *Recorder) Series(n int) []Record {
+	if n <= 0 || len(rc.records) == 0 {
+		return nil
+	}
+	ordered := make([]Record, len(rc.records))
+	copy(ordered, rc.records)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Submit < ordered[j].Submit })
+	if len(ordered) <= n {
+		return ordered
+	}
+	out := make([]Record, 0, n)
+	step := float64(len(ordered)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, ordered[int(float64(i)*step)])
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+package nand
+
+import (
+	"fmt"
+
+	"triplea/internal/simx"
+)
+
+// Addr identifies one page inside a package.
+//
+// Block is a die-level block address; per ONFI even/odd block
+// addressing, the block address selects the plane, so Plane must equal
+// Block % PlanesPerDie (checked on every operation).
+type Addr struct {
+	Die   int
+	Plane int
+	Block int // die-level block address (parity selects the plane)
+	Page  int // page index within the block
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("d%d/p%d/b%d/pg%d", a.Die, a.Plane, a.Block, a.Page)
+}
+
+// PageState tracks the physical condition of a page.
+type PageState uint8
+
+const (
+	PageErased PageState = iota // never programmed since last erase
+	PageValid                   // programmed, holds live data
+	PageStale                   // programmed, data superseded (GC fodder)
+)
+
+// blockState is allocated lazily: a 16 TB array has billions of pages
+// and only the touched blocks may cost host memory.
+type blockState struct {
+	eraseCount int
+	nextPage   int // sequential-program pointer
+	state      []PageState
+}
+
+// Op identifies a NAND command class for statistics.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats aggregates activity on one package.
+type Stats struct {
+	Reads        uint64
+	Programs     uint64
+	Erases       uint64
+	MultiPlane   uint64 // ops that used the multi-plane command
+	CacheHits    uint64 // reads served from the cache register
+	BusyNS       simx.Time
+	MaxEraseWear int
+}
+
+// Package is one bare NAND flash package. All methods must be called
+// from simulation context (inside engine events or before Run).
+type Package struct {
+	eng    *simx.Engine
+	params Params
+	dies   []*die
+
+	blocks map[int]*blockState // keyed by flat block id
+	stats  Stats
+}
+
+type die struct {
+	res *simx.Resource
+	// cacheTag remembers the last page latched into the cache register so
+	// repeated reads of the hot page skip tR (cache-mode commands).
+	cacheTag int64
+}
+
+// NewPackage builds a package; invalid params panic (a construction-time
+// programming error, not a runtime condition).
+func NewPackage(eng *simx.Engine, params Params) *Package {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	pk := &Package{
+		eng:    eng,
+		params: params,
+		dies:   make([]*die, params.DiesPerPackage),
+		blocks: make(map[int]*blockState),
+	}
+	for i := range pk.dies {
+		pk.dies[i] = &die{
+			res:      simx.NewResource(eng, fmt.Sprintf("die%d", i), 1),
+			cacheTag: -1,
+		}
+	}
+	return pk
+}
+
+// Params returns the package geometry/timing.
+func (pk *Package) Params() Params { return pk.params }
+
+// Stats returns a snapshot of package activity.
+func (pk *Package) Stats() Stats {
+	s := pk.stats
+	for _, bs := range pk.blocks {
+		if bs.eraseCount > s.MaxEraseWear {
+			s.MaxEraseWear = bs.eraseCount
+		}
+	}
+	return s
+}
+
+// DieBusy reports whether the addressed die is currently executing.
+func (pk *Package) DieBusy(dieIdx int) bool {
+	return pk.dies[dieIdx].res.InUse() > 0
+}
+
+// Busy reports whether any die is executing — the package-level
+// ready/busy pin (FIMMs wire all packages' R/B# onto one line).
+func (pk *Package) Busy() bool {
+	for _, d := range pk.dies {
+		if d.res.InUse() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (pk *Package) checkAddr(a Addr) error {
+	p := pk.params
+	switch {
+	case a.Die < 0 || a.Die >= p.DiesPerPackage:
+		return fmt.Errorf("nand: die %d out of range [0,%d)", a.Die, p.DiesPerPackage)
+	case a.Plane < 0 || a.Plane >= p.PlanesPerDie:
+		return fmt.Errorf("nand: plane %d out of range [0,%d)", a.Plane, p.PlanesPerDie)
+	case a.Block < 0 || a.Block >= p.BlocksPerPlane*p.PlanesPerDie:
+		return fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, p.BlocksPerPlane*p.PlanesPerDie)
+	case a.Page < 0 || a.Page >= p.PagesPerBlock:
+		return fmt.Errorf("nand: page %d out of range [0,%d)", a.Page, p.PagesPerBlock)
+	case a.Plane != a.Block%p.PlanesPerDie:
+		return fmt.Errorf("nand: block %d addresses plane %d, not plane %d (even/odd rule)",
+			a.Block, a.Block%p.PlanesPerDie, a.Plane)
+	}
+	return nil
+}
+
+func (pk *Package) flatBlock(a Addr) int {
+	p := pk.params
+	return a.Die*p.PlanesPerDie*p.BlocksPerPlane + a.Block
+}
+
+func (pk *Package) flatPage(a Addr) int64 {
+	return int64(pk.flatBlock(a))*int64(pk.params.PagesPerBlock) + int64(a.Page)
+}
+
+func (pk *Package) block(a Addr) *blockState {
+	id := pk.flatBlock(a)
+	bs := pk.blocks[id]
+	if bs == nil {
+		bs = &blockState{state: make([]PageState, pk.params.PagesPerBlock)}
+		pk.blocks[id] = bs
+	}
+	return bs
+}
+
+// PageStateAt reports the physical state of a page.
+func (pk *Package) PageStateAt(a Addr) PageState {
+	if err := pk.checkAddr(a); err != nil {
+		panic(err)
+	}
+	bs := pk.blocks[pk.flatBlock(a)]
+	if bs == nil {
+		return PageErased
+	}
+	return bs.state[a.Page]
+}
+
+// EraseCount reports the wear of the addressed block.
+func (pk *Package) EraseCount(a Addr) int {
+	bs := pk.blocks[pk.flatBlock(a)]
+	if bs == nil {
+		return 0
+	}
+	return bs.eraseCount
+}
+
+// Read latches the addressed pages (all on one die) into the data
+// register and calls done with the array-access time charged. Multiple
+// addresses exercise the multi-plane command: they must lie on distinct
+// planes of the same die and share the block/page offsets' parity rule
+// (even/odd block addressing selects the plane).
+//
+// done(texe) fires when the data is in the register; moving it off-chip
+// is the channel's job (the FIMM model charges tDMA separately).
+func (pk *Package) Read(addrs []Addr, done func(texe simx.Time, err error)) {
+	pk.startArrayOp(OpRead, addrs, done)
+}
+
+// Program writes the addressed pages. NAND constraints are enforced:
+// the target pages must be erased and must be the block's next
+// sequential page.
+func (pk *Package) Program(addrs []Addr, done func(texe simx.Time, err error)) {
+	pk.startArrayOp(OpProgram, addrs, done)
+}
+
+// Erase erases the addressed blocks (Page field ignored).
+func (pk *Package) Erase(addrs []Addr, done func(texe simx.Time, err error)) {
+	pk.startArrayOp(OpErase, addrs, done)
+}
+
+// ForcePopulate marks a page as programmed without simulating the
+// write. It exists so experiment setup can install a workload's
+// pre-existing data footprint (terabytes of cold data the traces read)
+// without replaying years of writes; it costs no simulated time.
+// The sequential-program pointer advances past the page, so dynamic
+// allocation never collides with populated pages.
+func (pk *Package) ForcePopulate(a Addr) error {
+	if err := pk.checkAddr(a); err != nil {
+		return err
+	}
+	bs := pk.block(a)
+	if bs.state[a.Page] != PageErased {
+		return fmt.Errorf("nand: ForcePopulate of programmed page %v", a)
+	}
+	bs.state[a.Page] = PageValid
+	if a.Page >= bs.nextPage {
+		bs.nextPage = a.Page + 1
+	}
+	return nil
+}
+
+// ForceErase resets a block without simulating the erase. Like
+// ForcePopulate it is a bootstrap/emergency fixture (the array uses it
+// only on the out-of-space fallback path, never during measured runs);
+// it still counts wear.
+func (pk *Package) ForceErase(a Addr) error {
+	if err := pk.checkAddr(a); err != nil {
+		return err
+	}
+	bs := pk.block(a)
+	bs.eraseCount++
+	bs.nextPage = 0
+	for i := range bs.state {
+		bs.state[i] = PageErased
+	}
+	pk.stats.Erases++
+	return nil
+}
+
+// MarkStale invalidates a programmed page (an FTL bookkeeping action —
+// costs no time on the device).
+func (pk *Package) MarkStale(a Addr) error {
+	if err := pk.checkAddr(a); err != nil {
+		return err
+	}
+	bs := pk.block(a)
+	if bs.state[a.Page] != PageValid {
+		return fmt.Errorf("nand: MarkStale on non-valid page %v", a)
+	}
+	bs.state[a.Page] = PageStale
+	return nil
+}
+
+func (pk *Package) validateMultiPlane(op Op, addrs []Addr) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("nand: %v with no addresses", op)
+	}
+	for _, a := range addrs {
+		if err := pk.checkAddr(a); err != nil {
+			return err
+		}
+	}
+	first := addrs[0]
+	seen := make(map[int]bool, len(addrs))
+	for _, a := range addrs {
+		if a.Die != first.Die {
+			return fmt.Errorf("nand: multi-plane %v spans dies %d and %d (use die interleaving instead)",
+				op, first.Die, a.Die)
+		}
+		if seen[a.Plane] {
+			return fmt.Errorf("nand: multi-plane %v addresses plane %d twice", op, a.Plane)
+		}
+		seen[a.Plane] = true
+		if op != OpErase && a.Page != first.Page {
+			return fmt.Errorf("nand: multi-plane %v page offsets differ (%d vs %d)",
+				op, first.Page, a.Page)
+		}
+	}
+	return nil
+}
+
+func (pk *Package) startArrayOp(op Op, addrs []Addr, done func(simx.Time, error)) {
+	if done == nil {
+		panic("nand: nil done callback")
+	}
+	if len(addrs) > 1 {
+		if err := pk.validateMultiPlane(op, addrs); err != nil {
+			done(0, err)
+			return
+		}
+		pk.stats.MultiPlane++
+	} else if err := pk.checkAddr(addrs[0]); err != nil {
+		done(0, err)
+		return
+	}
+
+	d := pk.dies[addrs[0].Die]
+	issued := pk.eng.Now()
+	d.res.Acquire(func(simx.Time) {
+		// State-machine checks run once the die is granted, so queued
+		// sequential programs see the state their predecessors committed.
+		if err := pk.checkState(op, addrs); err != nil {
+			d.res.Release()
+			done(0, err)
+			return
+		}
+		texe := pk.execTime(op, addrs, d)
+		pk.eng.Schedule(texe, func() {
+			pk.commit(op, addrs, d)
+			pk.stats.BusyNS += texe
+			d.res.Release()
+			// Report device-observed execution time including any die
+			// queueing: callers use it for laggard accounting.
+			done(pk.eng.Now()-issued, nil)
+		})
+	})
+}
+
+func (pk *Package) checkState(op Op, addrs []Addr) error {
+	switch op {
+	case OpProgram:
+		for _, a := range addrs {
+			bs := pk.block(a)
+			if bs.state[a.Page] != PageErased {
+				return fmt.Errorf("nand: program of non-erased page %v", a)
+			}
+			if a.Page != bs.nextPage {
+				return fmt.Errorf("nand: out-of-order program %v (next is page %d)", a, bs.nextPage)
+			}
+		}
+	case OpRead:
+		for _, a := range addrs {
+			bs := pk.blocks[pk.flatBlock(a)]
+			if bs == nil || bs.state[a.Page] == PageErased {
+				return fmt.Errorf("nand: read of erased page %v", a)
+			}
+		}
+	}
+	return nil
+}
+
+func (pk *Package) execTime(op Op, addrs []Addr, d *die) simx.Time {
+	p := pk.params
+	base := p.TCmdOverhead
+	switch op {
+	case OpRead:
+		if p.CacheOK && len(addrs) == 1 && d.cacheTag == pk.flatPage(addrs[0]) {
+			pk.stats.CacheHits++
+			return base // data already latched in the cache register
+		}
+		return base + p.TRead + p.TECCPerPage
+	case OpProgram:
+		return base + p.TProg + p.TECCPerPage
+	case OpErase:
+		return base + p.TErase
+	}
+	panic("nand: unknown op")
+}
+
+func (pk *Package) commit(op Op, addrs []Addr, d *die) {
+	switch op {
+	case OpRead:
+		pk.stats.Reads += uint64(len(addrs))
+		if len(addrs) == 1 {
+			d.cacheTag = pk.flatPage(addrs[0])
+		} else {
+			d.cacheTag = -1
+		}
+	case OpProgram:
+		pk.stats.Programs += uint64(len(addrs))
+		for _, a := range addrs {
+			bs := pk.block(a)
+			bs.state[a.Page] = PageValid
+			bs.nextPage = a.Page + 1
+		}
+		d.cacheTag = -1
+	case OpErase:
+		pk.stats.Erases += uint64(len(addrs))
+		for _, a := range addrs {
+			bs := pk.block(a)
+			bs.eraseCount++
+			bs.nextPage = 0
+			for i := range bs.state {
+				bs.state[i] = PageErased
+			}
+		}
+		d.cacheTag = -1
+	}
+}

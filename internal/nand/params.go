@@ -1,0 +1,123 @@
+// Package nand models a bare NAND flash package: the multi-die,
+// multi-plane memory array, its cache/data registers, the embedded
+// controller with its ECC engine, and the ONFI command set (read,
+// program, erase, die-interleave, multi-plane, cache mode). This is the
+// "passive memory device" Triple-A mounts on FIMMs after unboxing SSDs.
+//
+// The model enforces real NAND constraints — erase-before-write,
+// sequential page programming inside a block, even/odd plane pairing for
+// multi-plane commands — and accounts wear (per-block erase counts), so
+// the FTL and the autonomic manager above it are exercised against
+// genuine flash behaviour rather than a byte store.
+package nand
+
+import (
+	"fmt"
+
+	"triplea/internal/simx"
+)
+
+// Params describes the geometry and timing of one flash package.
+type Params struct {
+	// Geometry.
+	PageSizeBytes  int // main-area bytes per page (typically 4096)
+	PagesPerBlock  int // pages per erase block
+	BlocksPerPlane int // erase blocks per plane
+	PlanesPerDie   int // planes per die (even/odd block addressing)
+	DiesPerPackage int // independently operating dies
+
+	// Cell timing.
+	TRead  simx.Time // tR: array -> data register
+	TProg  simx.Time // tPROG: data register -> array
+	TErase simx.Time // tBERS: block erase
+
+	// Embedded controller.
+	TCmdOverhead simx.Time // command decode/protocol handling per op
+	TECCPerPage  simx.Time // ECC encode/decode per page
+
+	// I/O interface of this package (ONFI NV-DDR2).
+	IOPins  int  // data pins (x8 or x16)
+	BusMHz  int  // interface clock in MHz
+	DDR     bool // double data rate
+	CacheOK bool // cache-mode commands supported
+}
+
+// DefaultParams returns the 2013-era MLC package used throughout the
+// paper-scale experiments: 4 KB pages (the PCI-E 3.0 maximum payload the
+// workloads issue), 2 dies x 2 planes, ONFI 3.x NV-DDR2 at 400 MHz.
+func DefaultParams() Params {
+	return Params{
+		PageSizeBytes:  4096,
+		PagesPerBlock:  256,
+		BlocksPerPlane: 2048,
+		PlanesPerDie:   2,
+		DiesPerPackage: 2,
+		TRead:          50 * simx.Microsecond,
+		TProg:          600 * simx.Microsecond,
+		TErase:         3 * simx.Millisecond,
+		TCmdOverhead:   300 * simx.Nanosecond,
+		TECCPerPage:    2 * simx.Microsecond,
+		IOPins:         8,
+		BusMHz:         400,
+		DDR:            true,
+		CacheOK:        true,
+	}
+}
+
+// Validate reports whether the parameters describe a usable package.
+func (p Params) Validate() error {
+	switch {
+	case p.PageSizeBytes <= 0:
+		return fmt.Errorf("nand: PageSizeBytes %d must be positive", p.PageSizeBytes)
+	case p.PagesPerBlock <= 0:
+		return fmt.Errorf("nand: PagesPerBlock %d must be positive", p.PagesPerBlock)
+	case p.BlocksPerPlane <= 0:
+		return fmt.Errorf("nand: BlocksPerPlane %d must be positive", p.BlocksPerPlane)
+	case p.PlanesPerDie <= 0:
+		return fmt.Errorf("nand: PlanesPerDie %d must be positive", p.PlanesPerDie)
+	case p.DiesPerPackage <= 0:
+		return fmt.Errorf("nand: DiesPerPackage %d must be positive", p.DiesPerPackage)
+	case p.TRead <= 0 || p.TProg <= 0 || p.TErase <= 0:
+		return fmt.Errorf("nand: cell timings must be positive")
+	case p.IOPins != 8 && p.IOPins != 16:
+		return fmt.Errorf("nand: IOPins %d must be 8 or 16 (ONFI)", p.IOPins)
+	case p.BusMHz <= 0:
+		return fmt.Errorf("nand: BusMHz %d must be positive", p.BusMHz)
+	}
+	return nil
+}
+
+// PagesPerPackage reports the total page count of one package.
+func (p Params) PagesPerPackage() int64 {
+	return int64(p.PagesPerBlock) * int64(p.BlocksPerPlane) *
+		int64(p.PlanesPerDie) * int64(p.DiesPerPackage)
+}
+
+// BytesPerPackage reports the package capacity in bytes.
+func (p Params) BytesPerPackage() int64 {
+	return p.PagesPerPackage() * int64(p.PageSizeBytes)
+}
+
+// InterfaceBytesPerSec reports the raw bandwidth of the package's I/O
+// interface: pins/8 bytes per transfer at BusMHz (doubled under DDR).
+func (p Params) InterfaceBytesPerSec() int64 {
+	mt := int64(p.BusMHz) * 1_000_000
+	if p.DDR {
+		mt *= 2
+	}
+	return mt * int64(p.IOPins) / 8
+}
+
+// TransferTime reports the time to move n bytes across the package
+// interface, rounded up to whole nanoseconds.
+func (p Params) TransferTime(n int) simx.Time {
+	bps := p.InterfaceBytesPerSec()
+	ns := (int64(n)*1_000_000_000 + bps - 1) / bps
+	return simx.Time(ns)
+}
+
+// PageTransferTime is TransferTime for one full page — the per-page tDMA
+// term of Equations 1–3 when evaluated at package granularity.
+func (p Params) PageTransferTime() simx.Time {
+	return p.TransferTime(p.PageSizeBytes)
+}

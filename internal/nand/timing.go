@@ -1,0 +1,76 @@
+package nand
+
+import "fmt"
+
+// TimingMode is an ONFI interface timing mode. The ONFI specification
+// defines the legacy asynchronous SDR modes 0-5 and the NV-DDR/NV-DDR2
+// source-synchronous families; the mode fixes the interface clock and
+// data rate while cell timings stay a property of the memory array.
+type TimingMode int
+
+const (
+	// SDR asynchronous modes (ONFI 1.x), ~10-50 MB/s per 8 pins.
+	SDRMode0 TimingMode = iota
+	SDRMode1
+	SDRMode2
+	SDRMode3
+	SDRMode4
+	SDRMode5
+	// NVDDRMode5 is the fastest ONFI 2.x source-synchronous mode
+	// (200 MT/s).
+	NVDDRMode5
+	// NVDDR2Mode7 is the ONFI 3.x mode the paper's FIMMs use over their
+	// NV-DDR2 connector (400 MHz, DDR -> 800 MT/s).
+	NVDDR2Mode7
+)
+
+func (m TimingMode) String() string {
+	switch m {
+	case SDRMode0, SDRMode1, SDRMode2, SDRMode3, SDRMode4, SDRMode5:
+		return fmt.Sprintf("sdr-%d", int(m))
+	case NVDDRMode5:
+		return "nv-ddr-5"
+	case NVDDR2Mode7:
+		return "nv-ddr2-7"
+	default:
+		return "unknown"
+	}
+}
+
+// interfaceClock reports (clock MHz, DDR) for the mode. SDR clocks
+// follow the ONFI cycle times (100 ns down to 20 ns); the DDR families
+// are source-synchronous.
+func (m TimingMode) interfaceClock() (mhz int, ddr bool, err error) {
+	switch m {
+	case SDRMode0:
+		return 10, false, nil
+	case SDRMode1:
+		return 20, false, nil
+	case SDRMode2:
+		return 28, false, nil
+	case SDRMode3:
+		return 33, false, nil
+	case SDRMode4:
+		return 40, false, nil
+	case SDRMode5:
+		return 50, false, nil
+	case NVDDRMode5:
+		return 100, true, nil
+	case NVDDR2Mode7:
+		return 400, true, nil
+	default:
+		return 0, false, fmt.Errorf("nand: unknown timing mode %d", int(m))
+	}
+}
+
+// WithTimingMode returns a copy of the params with the I/O interface
+// reclocked to the given ONFI mode. Cell timings are untouched.
+func (p Params) WithTimingMode(m TimingMode) (Params, error) {
+	mhz, ddr, err := m.interfaceClock()
+	if err != nil {
+		return p, err
+	}
+	p.BusMHz = mhz
+	p.DDR = ddr
+	return p, nil
+}

@@ -1,0 +1,61 @@
+package nand
+
+import "testing"
+
+func TestTimingModeStrings(t *testing.T) {
+	cases := map[TimingMode]string{
+		SDRMode0:    "sdr-0",
+		SDRMode5:    "sdr-5",
+		NVDDRMode5:  "nv-ddr-5",
+		NVDDR2Mode7: "nv-ddr2-7",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if TimingMode(99).String() != "unknown" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestWithTimingMode(t *testing.T) {
+	base := DefaultParams()
+	// The default package runs NV-DDR2 mode 7 (x8): 800 MB/s.
+	p7, err := base.WithTimingMode(NVDDR2Mode7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p7.InterfaceBytesPerSec() != 800_000_000 {
+		t.Errorf("nv-ddr2-7 bandwidth = %d", p7.InterfaceBytesPerSec())
+	}
+	// SDR mode 0: 10 MHz x 1 byte = 10 MB/s — the legacy floor.
+	p0, err := base.WithTimingMode(SDRMode0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.InterfaceBytesPerSec() != 10_000_000 {
+		t.Errorf("sdr-0 bandwidth = %d", p0.InterfaceBytesPerSec())
+	}
+	// Faster modes strictly increase bandwidth.
+	prev := int64(0)
+	for _, m := range []TimingMode{SDRMode0, SDRMode1, SDRMode2, SDRMode3,
+		SDRMode4, SDRMode5, NVDDRMode5, NVDDR2Mode7} {
+		p, err := base.WithTimingMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bw := p.InterfaceBytesPerSec(); bw <= prev {
+			t.Errorf("%v bandwidth %d not above previous %d", m, bw, prev)
+		} else {
+			prev = bw
+		}
+	}
+	// Cell timings are untouched.
+	if p0.TRead != base.TRead || p0.TProg != base.TProg {
+		t.Error("timing mode changed cell timings")
+	}
+	if _, err := base.WithTimingMode(TimingMode(42)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package pcie
+
+import (
+	"fmt"
+
+	"triplea/internal/simx"
+)
+
+// TLPOverheadBytes is the per-packet framing cost: transaction-layer
+// header (16), sequence number + LCRC (8) — the fields the endpoint's
+// device layers strip and rebuild.
+const TLPOverheadBytes = 24
+
+// Receiver consumes packets delivered by a Link. Implementations must
+// eventually call from.ReturnCredit() once the packet's buffer entry is
+// freed, or the link stalls — exactly like real VC flow control.
+type Receiver interface {
+	Receive(pkt *Packet, from *Link)
+}
+
+// Link is one direction of a dual-simplex PCI-E connection. The sender
+// serialises packets onto the wire; the receiver advertises a fixed
+// number of virtual-channel buffer credits. With no credit available,
+// packets wait at the sender — that waiting is the link-level stall the
+// paper's flow-control discussion describes.
+type Link struct {
+	eng  *simx.Engine
+	name string
+
+	bytesPerSec int64
+	propagation simx.Time
+
+	wire    *simx.Resource
+	credits int
+	maxCred int
+	dst     Receiver
+
+	sendQ []*pendingSend
+
+	// Statistics.
+	packets     uint64
+	bytes       int64
+	creditStall simx.Time
+	maxSendQ    int
+}
+
+type pendingSend struct {
+	pkt      *Packet
+	queued   simx.Time
+	accepted func()
+}
+
+// NewLink builds a link delivering to dst with the given raw bandwidth,
+// propagation delay and receiver credit count.
+func NewLink(eng *simx.Engine, name string, bytesPerSec int64, propagation simx.Time, credits int, dst Receiver) *Link {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("pcie: link %s bandwidth must be positive", name))
+	}
+	if credits < 1 {
+		panic(fmt.Sprintf("pcie: link %s needs at least one credit", name))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("pcie: link %s has no receiver", name))
+	}
+	return &Link{
+		eng:         eng,
+		name:        name,
+		bytesPerSec: bytesPerSec,
+		propagation: propagation,
+		wire:        simx.NewResource(eng, name+".wire", 1),
+		credits:     credits,
+		maxCred:     credits,
+		dst:         dst,
+	}
+}
+
+// Name reports the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// TransferTime reports serialisation time for a packet with n payload
+// bytes (TLP overhead included), rounded up to whole nanoseconds.
+func (l *Link) TransferTime(n int) simx.Time {
+	total := int64(n + TLPOverheadBytes)
+	return simx.Time((total*1_000_000_000 + l.bytesPerSec - 1) / l.bytesPerSec)
+}
+
+// Send transmits pkt toward the receiver. accepted (optional) fires when
+// the packet wins a credit and leaves the sender's buffer — the moment a
+// switch can free its own ingress entry. Delivery to the receiver
+// happens after wire serialisation plus propagation.
+func (l *Link) Send(pkt *Packet, accepted func()) {
+	if pkt == nil {
+		panic("pcie: Send of nil packet")
+	}
+	ps := &pendingSend{pkt: pkt, queued: l.eng.Now(), accepted: accepted}
+	if l.credits > 0 {
+		l.credits--
+		l.transmit(ps)
+		return
+	}
+	l.sendQ = append(l.sendQ, ps)
+	if len(l.sendQ) > l.maxSendQ {
+		l.maxSendQ = len(l.sendQ)
+	}
+}
+
+// ReturnCredit hands one VC buffer entry back to the sender, releasing
+// the oldest stalled packet if any.
+func (l *Link) ReturnCredit() {
+	if len(l.sendQ) > 0 {
+		ps := l.sendQ[0]
+		copy(l.sendQ, l.sendQ[1:])
+		l.sendQ = l.sendQ[:len(l.sendQ)-1]
+		stalled := l.eng.Now() - ps.queued
+		ps.pkt.CreditWait += stalled
+		l.creditStall += stalled
+		l.transmit(ps)
+		return
+	}
+	l.credits++
+	if l.credits > l.maxCred {
+		panic("pcie: credit overflow on " + l.name)
+	}
+}
+
+func (l *Link) transmit(ps *pendingSend) {
+	if ps.accepted != nil {
+		ps.accepted()
+	}
+	l.wire.Acquire(func(waited simx.Time) {
+		ps.pkt.WireWait += waited
+		xfer := l.TransferTime(ps.pkt.Payload)
+		l.eng.Schedule(xfer, func() {
+			l.wire.Release()
+			ps.pkt.WireTime += xfer
+			l.packets++
+			l.bytes += int64(ps.pkt.Payload + TLPOverheadBytes)
+			l.eng.Schedule(l.propagation, func() {
+				l.dst.Receive(ps.pkt, l)
+			})
+		})
+	})
+}
+
+// CreditsAvailable reports the sender-visible free credit count.
+func (l *Link) CreditsAvailable() int { return l.credits }
+
+// PendingSends reports packets stalled for credits.
+func (l *Link) PendingSends() int { return len(l.sendQ) }
+
+// Packets reports how many packets completed wire serialisation.
+func (l *Link) Packets() uint64 { return l.packets }
+
+// Bytes reports total bytes serialised (overhead included).
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// CreditStallNS reports accumulated credit-stall time.
+func (l *Link) CreditStallNS() simx.Time { return l.creditStall }
+
+// BusyNS reports the wire's accumulated busy time.
+func (l *Link) BusyNS() simx.Time { return l.wire.BusyNS() }
+
+// UtilizationSince reports wire utilisation over a window (see
+// simx.Resource.UtilizationSince).
+func (l *Link) UtilizationSince(since simx.Time, busyAtSince simx.Time) float64 {
+	return l.wire.UtilizationSince(since, busyAtSince)
+}

@@ -1,0 +1,63 @@
+// Package pcie models the PCI Express fabric that interconnects the
+// flash clusters: dual-simplex point-to-point links with credit-based
+// virtual-channel flow control, multi-port switches with address
+// routing, and a multi-port root complex. The model captures what the
+// paper's simulator captures (Section 5.1): data-movement delay on
+// every hop, switching/routing latencies, and the contention cycles
+// requests spend stalled in virtual-channel queues.
+package pcie
+
+import (
+	"fmt"
+
+	"triplea/internal/simx"
+)
+
+// Kind classifies a transaction-layer packet.
+type Kind uint8
+
+const (
+	MemRead    Kind = iota // read request (no payload)
+	MemWrite               // posted write (carries payload)
+	Completion             // completion with or without data
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MemRead:
+		return "MemRd"
+	case MemWrite:
+		return "MemWr"
+	case Completion:
+		return "Cpl"
+	default:
+		return "?"
+	}
+}
+
+// Packet is one transaction-layer packet moving through the fabric.
+// Timing accumulators record where the packet spent its life; the array
+// layer folds them into per-request breakdowns.
+type Packet struct {
+	ID      uint64
+	Kind    Kind
+	Addr    uint64 // routing address
+	Payload int    // payload bytes (0 for requests / dataless completions)
+	Meta    any    // opaque cargo for the endpoint/array layers
+
+	// Accumulated timing across all hops.
+	CreditWait simx.Time // stalled waiting for receiver VC credit
+	WireWait   simx.Time // stalled waiting for the local wire
+	WireTime   simx.Time // serialisation time on wires
+	RouteTime  simx.Time // switch/RC routing latencies
+	QueueWait  simx.Time // time parked in device buffers (switch ingress, EP downstream)
+}
+
+// StallTotal reports all time the packet spent not moving.
+func (p *Packet) StallTotal() simx.Time {
+	return p.CreditWait + p.WireWait + p.QueueWait
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v#%d addr=%#x payload=%dB", p.Kind, p.ID, p.Addr, p.Payload)
+}

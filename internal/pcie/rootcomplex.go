@@ -1,0 +1,93 @@
+package pcie
+
+import (
+	"fmt"
+
+	"triplea/internal/simx"
+)
+
+// RootComplex generates transactions on behalf of the host and routes
+// packets between its ports. Downstream it forwards host requests to
+// the switch selected by a route function; upstream it hands arriving
+// completions to the host sink after its internal routing latency.
+type RootComplex struct {
+	eng          *simx.Engine
+	routeLatency simx.Time
+	route        RouteFunc // selects the switch port for a downstream packet
+	ports        []*Link   // downstream links to switches
+	deliver      func(pkt *Packet)
+
+	injected   uint64
+	delivered  uint64
+	queueStall simx.Time
+}
+
+// NewRootComplex builds a root complex. route selects the downstream
+// port for injected packets; deliver receives upstream packets (host
+// side) after routing latency.
+func NewRootComplex(eng *simx.Engine, routeLatency simx.Time, route RouteFunc, deliver func(pkt *Packet)) *RootComplex {
+	if route == nil || deliver == nil {
+		panic("pcie: root complex needs route and deliver functions")
+	}
+	return &RootComplex{eng: eng, routeLatency: routeLatency, route: route, deliver: deliver}
+}
+
+// AddPort attaches a downstream link to a switch, returning its index.
+func (rc *RootComplex) AddPort(l *Link) int {
+	rc.ports = append(rc.ports, l)
+	return len(rc.ports) - 1
+}
+
+// NumPorts reports the downstream port count.
+func (rc *RootComplex) NumPorts() int { return len(rc.ports) }
+
+// Inject sends a host-originated packet downstream. done (optional)
+// fires when the packet is accepted onto the selected port — until then
+// it occupies the RC's internal queue, and the caller charges RC stall.
+func (rc *RootComplex) Inject(pkt *Packet, done func()) {
+	rc.eng.Schedule(rc.routeLatency, func() {
+		pkt.RouteTime += rc.routeLatency
+		port := rc.route(pkt)
+		if port < 0 || port >= len(rc.ports) {
+			panic(fmt.Sprintf("pcie: RC route for %v returned bad port %d", pkt, port))
+		}
+		held := rc.eng.Now()
+		credBefore := pkt.CreditWait
+		rc.ports[port].Send(pkt, func() {
+			// Holding time excluding the port's credit wait, which the
+			// link accounts separately.
+			stall := (rc.eng.Now() - held) - (pkt.CreditWait - credBefore)
+			pkt.QueueWait += stall
+			rc.queueStall += stall
+			rc.injected++
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Receive implements Receiver for upstream packets arriving from
+// switches: the packet is consumed into host memory after the routing
+// latency and its VC credit returns immediately thereafter.
+func (rc *RootComplex) Receive(pkt *Packet, from *Link) {
+	rc.eng.Schedule(rc.routeLatency, func() {
+		pkt.RouteTime += rc.routeLatency
+		if from != nil {
+			from.ReturnCredit()
+		}
+		rc.delivered++
+		rc.deliver(pkt)
+	})
+}
+
+// Injected reports packets sent downstream.
+func (rc *RootComplex) Injected() uint64 { return rc.injected }
+
+// Delivered reports packets handed to the host sink.
+func (rc *RootComplex) Delivered() uint64 { return rc.delivered }
+
+// QueueStallNS reports time injected packets waited for port acceptance.
+func (rc *RootComplex) QueueStallNS() simx.Time { return rc.queueStall }
+
+var _ Receiver = (*RootComplex)(nil)

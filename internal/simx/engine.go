@@ -1,0 +1,190 @@
+// Package simx provides a deterministic discrete-event simulation engine
+// used by every timing model in the repository: the NAND packages, the
+// FIMM channels, the PCI Express fabric, and the autonomic management
+// module all schedule work on a single shared Engine.
+//
+// Time is an integer number of simulated nanoseconds. Events scheduled
+// for the same instant fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), so a simulation run is fully
+// reproducible for a given input.
+package simx
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant or duration in nanoseconds.
+type Time int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time using the most natural unit, e.g. "3.30us".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. It is returned by Schedule/At so the
+// caller can cancel it before it fires.
+type Event struct {
+	when   Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// When reports the instant the event will fire.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule arranges for fn to run delay nanoseconds from now.
+// A negative delay panics: the simulation cannot travel backwards.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("simx: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simx: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("simx: nil event func")
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Step fires the next event, if any, advancing the clock to its time.
+// It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor fires events within the next d nanoseconds.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,212 @@
+package simx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1.00us"},
+		{3300, "3.30us"},
+		{Millisecond, "1.000ms"},
+		{2 * Second, "2.000s"},
+		{-Microsecond, "-1.00us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeMicros(t *testing.T) {
+	if got := (3300 * Nanosecond).Micros(); got != 3.3 {
+		t.Errorf("Micros() = %v, want 3.3", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(30, func() { order = append(order, 3) })
+	eng.Schedule(10, func() { order = append(order, 1) })
+	eng.Schedule(20, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+	if eng.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", eng.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(5, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var hits []Time
+	eng.Schedule(10, func() {
+		hits = append(hits, eng.Now())
+		eng.Schedule(5, func() { hits = append(hits, eng.Now()) })
+	})
+	eng.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.Schedule(10, func() { fired = true })
+	eng.Cancel(ev)
+	eng.Cancel(ev) // double-cancel is a no-op
+	eng.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if eng.Fired() != 0 {
+		t.Errorf("Fired() = %d, want 0", eng.Fired())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = eng.Schedule(Time(i+1), func() { got = append(got, i) })
+	}
+	eng.Cancel(evs[2])
+	eng.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		eng.Schedule(d, func() { fired = append(fired, d) })
+	}
+	eng.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want two events", fired)
+	}
+	if eng.Now() != 25 {
+		t.Errorf("Now() = %v after RunUntil(25)", eng.Now())
+	}
+	eng.Run()
+	if len(fired) != 4 {
+		t.Fatalf("Run() after RunUntil left events: fired %v", fired)
+	}
+}
+
+func TestRunForAdvancesClock(t *testing.T) {
+	eng := NewEngine()
+	eng.RunFor(100)
+	if eng.Now() != 100 {
+		t.Errorf("Now() = %v after empty RunFor(100)", eng.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(10, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At(past) did not panic")
+		}
+	}()
+	eng.At(5, func() {})
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	eng := NewEngine()
+	if eng.Step() {
+		t.Error("Step() on empty engine returned true")
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			eng.Schedule(d, func() { fired = append(fired, eng.Now()) })
+		}
+		eng.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || eng.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineIntrospection(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(25, func() {})
+	if ev.When() != 25 {
+		t.Errorf("When = %v", ev.When())
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending = %d", eng.Pending())
+	}
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Errorf("Pending after run = %d", eng.Pending())
+	}
+}
