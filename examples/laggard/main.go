@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"triplea/internal/array"
 	"triplea/internal/core"
@@ -69,8 +70,15 @@ func main() {
 		}
 		fmt.Printf("%s:\n  avg %-10v P99 %-10v\n", mode, rec.AvgLatency(), rec.Percentile(99))
 		fmt.Printf("  working-set placement:")
-		for f, n := range perFIMM {
-			fmt.Printf(" %v=%d", f, n)
+		fimms := make([]topo.FIMMID, 0, len(perFIMM))
+		for f := range perFIMM {
+			fimms = append(fimms, f)
+		}
+		sort.Slice(fimms, func(i, j int) bool {
+			return fimms[i].Flat(cfg.Geometry) < fimms[j].Flat(cfg.Geometry)
+		})
+		for _, f := range fimms {
+			fmt.Printf(" %v=%d", f, perFIMM[f])
 		}
 		fmt.Println()
 		if mgr != nil {

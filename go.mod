@@ -1,3 +1,7 @@
+// Zero-dependency by design: the simulator, the experiment drivers,
+// and even the simlint static-analysis suite (an in-tree mirror of the
+// golang.org/x/tools go/analysis API — see docs/static-analysis.md)
+// build with the standard library alone.
 module triplea
 
-go 1.22
+go 1.24

@@ -214,6 +214,7 @@ type Endpoint struct {
 	up *pcie.Link // toward the switch
 
 	stats Stats
+	ck    ckState // empty unless built with -tags simcheck
 }
 
 // New builds a cluster endpoint; invalid params panic.
@@ -384,6 +385,9 @@ func (ep *Endpoint) creditBack(cmd *Command) {
 // background work (but never ahead of other host reads).
 func (ep *Endpoint) enqueueRead(cmd *Command) {
 	f := cmd.FIMM
+	if simcheckEnabled {
+		ep.ckSubmitted()
+	}
 	if len(ep.pending[f]) == 0 && ep.outstanding[f] < ep.params.FIMMQueueDepth {
 		ep.issueRead(cmd)
 		return
@@ -405,12 +409,18 @@ func (ep *Endpoint) enqueueRead(cmd *Command) {
 		ep.pending[f] = append(q, cmd)
 	}
 	ep.pendingLen++
+	if simcheckEnabled {
+		ep.ckQueued()
+	}
 }
 
 // releaseFIMMSlot frees an outstanding slot and issues the oldest
 // queued command for that FIMM.
 func (ep *Endpoint) releaseFIMMSlot(f int) {
 	ep.outstanding[f]--
+	if simcheckEnabled {
+		ep.ckReleased(f)
+	}
 	if len(ep.pending[f]) == 0 {
 		return
 	}
@@ -427,6 +437,9 @@ func (ep *Endpoint) releaseFIMMSlot(f int) {
 func (ep *Endpoint) issueRead(cmd *Command) {
 	f := cmd.FIMM
 	ep.outstanding[f]++
+	if simcheckEnabled {
+		ep.ckIssued(f)
+	}
 	cmd.Result.EPWait = ep.eng.Now() - cmd.arrived
 	ep.stats.EPWaitNS += cmd.Result.EPWait
 	// The command occupies a queue entry until the HAL hands it to the

@@ -1,0 +1,12 @@
+//go:build !simcheck
+
+package cluster
+
+const simcheckEnabled = false
+
+type ckState struct{}
+
+func (ep *Endpoint) ckSubmitted()     {}
+func (ep *Endpoint) ckIssued(f int)   {}
+func (ep *Endpoint) ckQueued()        {}
+func (ep *Endpoint) ckReleased(f int) {}

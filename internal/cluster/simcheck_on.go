@@ -1,0 +1,55 @@
+//go:build simcheck
+
+package cluster
+
+import "fmt"
+
+// simcheckEnabled gates the runtime invariant checks; see the simx
+// package for the convention.
+const simcheckEnabled = true
+
+type ckState struct {
+	submitted uint64 // reads accepted by enqueueRead
+	issued    uint64 // reads handed to a FIMM slot
+}
+
+// ckSubmitted counts a read entering the endpoint queue machinery.
+func (ep *Endpoint) ckSubmitted() { ep.ck.submitted++ }
+
+// ckIssued runs after issueRead takes a FIMM slot: the slot count must
+// respect the configured depth, and conservation must hold — every
+// submitted read is either issued or still pending, with none duplicated
+// or dropped by the queue shuffling in enqueueRead/releaseFIMMSlot.
+func (ep *Endpoint) ckIssued(f int) {
+	ep.ck.issued++
+	if ep.outstanding[f] > ep.params.FIMMQueueDepth {
+		panic(fmt.Sprintf("simcheck: FIMM %d has %d outstanding reads, depth limit %d",
+			f, ep.outstanding[f], ep.params.FIMMQueueDepth))
+	}
+	ep.ckConserve()
+}
+
+// ckQueued runs after enqueueRead parks a read in the pending queue.
+func (ep *Endpoint) ckQueued() { ep.ckConserve() }
+
+// ckReleased runs after releaseFIMMSlot returns a slot.
+func (ep *Endpoint) ckReleased(f int) {
+	if ep.outstanding[f] < 0 {
+		panic(fmt.Sprintf("simcheck: FIMM %d outstanding count went negative", f))
+	}
+	ep.ckConserve()
+}
+
+func (ep *Endpoint) ckConserve() {
+	total := 0
+	for _, q := range ep.pending {
+		total += len(q)
+	}
+	if total != ep.pendingLen {
+		panic(fmt.Sprintf("simcheck: pendingLen %d but queues hold %d commands", ep.pendingLen, total))
+	}
+	if ep.ck.issued+uint64(ep.pendingLen) != ep.ck.submitted {
+		panic(fmt.Sprintf("simcheck: queue conservation violated: submitted %d != issued %d + pending %d",
+			ep.ck.submitted, ep.ck.issued, ep.pendingLen))
+	}
+}

@@ -1,0 +1,22 @@
+//go:build simcheck
+
+package cluster
+
+import (
+	"testing"
+
+	"triplea/internal/simx"
+)
+
+// TestSimcheckDetectsLostCommand desynchronizes pendingLen from the
+// queues and expects the conservation check to panic.
+func TestSimcheckDetectsLostCommand(t *testing.T) {
+	ep := New(simx.NewEngine(), id0(), testParams())
+	ep.pendingLen++ // claim a command the queues don't hold
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ckConserve accepted pendingLen out of sync with queues")
+		}
+	}()
+	ep.ckConserve()
+}

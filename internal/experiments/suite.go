@@ -52,7 +52,7 @@ func (r *RunResult) NormLatency() float64 {
 // baseline (higher is better; the paper's Figure 9b).
 func (r *RunResult) NormIOPS() float64 {
 	b := r.Base.SustainedIOPS(SustainedWindow)
-	if b == 0 {
+	if b <= 0 {
 		return 1
 	}
 	return r.Auto.SustainedIOPS(SustainedWindow) / b

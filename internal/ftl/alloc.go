@@ -228,6 +228,7 @@ func (fa *fimmAlloc) denseLPN(f *FTL, ppn topo.PPN) (int64, bool) {
 func (fa *fimmAlloc) wear() FIMMWear {
 	w := FIMMWear{Erases: fa.erases}
 	for _, u := range fa.units {
+		//simlint:ordered commutative max over blocks
 		for _, bi := range u.touched {
 			if bi.erase > w.MaxBlock {
 				w.MaxBlock = bi.erase

@@ -15,6 +15,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"triplea/internal/topo"
 )
@@ -114,6 +115,7 @@ type FTL struct {
 	fimms map[int]*fimmAlloc // flat FIMM id -> allocator state
 
 	stats Stats
+	ck    ckState // empty unless built with -tags simcheck
 }
 
 // Option configures the FTL.
@@ -156,11 +158,16 @@ func (f *FTL) Stats() Stats { return f.stats }
 // MappedPages reports how many LPNs currently have a translation.
 func (f *FTL) MappedPages() int { return len(f.pageMap) }
 
-// ForEachMapping visits every (LPN, PPN) translation; returning false
-// stops the walk. Iteration order is unspecified.
+// ForEachMapping visits every (LPN, PPN) translation in ascending LPN
+// order; returning false stops the walk.
 func (f *FTL) ForEachMapping(visit func(lpn int64, ppn topo.PPN) bool) {
-	for lpn, ppn := range f.pageMap {
-		if !visit(lpn, ppn) {
+	lpns := make([]int64, 0, len(f.pageMap))
+	for lpn := range f.pageMap {
+		lpns = append(lpns, lpn)
+	}
+	slices.Sort(lpns)
+	for _, lpn := range lpns {
+		if !visit(lpn, f.pageMap[lpn]) {
 			return
 		}
 	}
@@ -350,6 +357,9 @@ func (f *FTL) allocate(lpn int64, target topo.FIMMID, kind WriteKind) (WriteAllo
 	}
 	f.pageMap[lpn] = ppn
 	f.reverse[ppn] = lpn
+	if simcheckEnabled {
+		f.ckMapped(lpn, ppn)
+	}
 	switch kind {
 	case WriteGC:
 		f.stats.GCWrites++
@@ -367,6 +377,9 @@ func (f *FTL) unlink(lpn int64, old topo.PPN) {
 	delete(f.reverse, old)
 	if fa := f.fimms[old.FIMMID().Flat(f.geom)]; fa != nil {
 		fa.markStale(f, old)
+	}
+	if simcheckEnabled {
+		f.ckUnlinked(lpn, old)
 	}
 }
 
@@ -398,6 +411,7 @@ func (f *FTL) Wear(id topo.FIMMID) FIMMWear {
 // TotalErases reports erases across the whole array.
 func (f *FTL) TotalErases() uint64 {
 	var n uint64
+	//simlint:ordered commutative sum over FIMMs
 	for _, fa := range f.fimms {
 		n += fa.wear().Erases
 	}

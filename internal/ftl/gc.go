@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"fmt"
+	"sort"
 
 	"triplea/internal/topo"
 )
@@ -78,10 +79,19 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 	u := fa.units[unitIdx]
 
 	// Greedy victim: reclaimable (full or dense) block with fewest
-	// valid pages, skipping vetoed blocks.
+	// valid pages, skipping vetoed blocks. Candidates are scanned in
+	// ascending block order so equal-valid ties break the same way on
+	// every run; ranging over the map directly would let Go's random
+	// iteration order pick the victim among ties.
 	pkg, die, plane := unitCoords(g, unitIdx)
+	blocks := make([]int, 0, len(u.touched))
+	for b := range u.touched {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
 	victimBlock, victimValid := -1, int(^uint(0)>>1)
-	for b, bi := range u.touched {
+	for _, b := range blocks {
+		bi := u.touched[b]
 		if bi.state != blockFull && bi.state != blockDense {
 			continue
 		}

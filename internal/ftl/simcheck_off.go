@@ -1,0 +1,12 @@
+//go:build !simcheck
+
+package ftl
+
+import "triplea/internal/topo"
+
+const simcheckEnabled = false
+
+type ckState struct{}
+
+func (f *FTL) ckMapped(lpn int64, ppn topo.PPN)   {}
+func (f *FTL) ckUnlinked(lpn int64, old topo.PPN) {}

@@ -1,0 +1,76 @@
+// Package analysis is a self-contained, dependency-free core of a
+// static-analysis framework, mirroring the API shape of
+// golang.org/x/tools/go/analysis. The repository deliberately has no
+// third-party module requirements (the simulator's reproducibility
+// story extends to its build: nothing outside the standard library),
+// so the subset of the x/tools API that simlint needs is defined here.
+// If the x/tools dependency is ever vendored, each analyzer ports by
+// changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass: a name, a diagnostic
+// Doc string, and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and command-line
+	// flags. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by paragraphs of detail.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report and may return an arbitrary result value (unused by
+	// the simlint driver, kept for x/tools API parity).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer with the type-checked syntax of one
+// package and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the offending range
+	Category string    // optional: a sub-rule identifier
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FileAt returns the syntax file containing pos, if any.
+func (p *Pass) FileAt(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Filename reports the name of the source file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}

@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"triplea/internal/lint/analysis"
+)
+
+// Floateq flags == and != between floating-point operands in the
+// packages whose numbers end up in reported tables (internal/metrics,
+// internal/cost, internal/experiments).
+//
+// Exact float equality is almost never the intended predicate there:
+// a ratio that is "the same" across two runs can still differ in the
+// last ulp once an optimisation reassociates an accumulation, turning
+// a stable report into a flapping one. Compare against a tolerance,
+// or restructure sentinel checks as <= / >= range tests. Comparisons
+// where both operands are compile-time constants are exact by
+// definition and stay legal. Test files are exempt: asserting exact
+// expected values against exactly-representable arithmetic is a
+// legitimate testing idiom, and a tolerance there would weaken the
+// test.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands in metrics, cost, and experiments packages",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inPackageSet(pass.Pkg.Path(), floatPackageSuffixes) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, bin.X) && !isFloatOperand(info, bin.Y) {
+				return true
+			}
+			if isConst(info, bin.X) && isConst(info, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"floating-point %s comparison in a reporting package; compare with a tolerance or use <=/>= range tests",
+				bin.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

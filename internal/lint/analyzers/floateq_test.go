@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Floateq,
+		"triplea/internal/metrics", // reporting package: exact equality flagged
+		"other",                    // out of scope: silent
+	)
+}

@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"triplea/internal/lint/analysis"
+)
+
+// randConstructors are the math/rand functions that build an explicit,
+// caller-seeded generator rather than touching global state. They stay
+// legal everywhere: rand.New(rand.NewSource(seed)) is reproducible by
+// construction.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Globalrand bans math/rand's implicitly seeded global generator.
+//
+// Every stochastic choice in the repository must flow from an explicit
+// per-run seed through the simx RNG (internal/simx/rng.go) so two runs
+// with the same seed make identical choices. The global math/rand
+// functions (rand.Intn, rand.Float64, ...) draw from hidden process
+// state — in math/rand/v2 that state is randomly seeded at startup —
+// which silently unpins experiments from their seeds. The rule applies
+// repo-wide (tests included: an unseeded random test input is a flaky
+// test); only internal/simx/rng.go, the audited seed boundary, is
+// exempt.
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand global functions; randomness must flow through the seeded simx RNG",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if hasPathSuffix(pass.Pkg.Path(), "internal/simx") &&
+			baseFilename(pass, file.Pos()) == "rng.go" {
+			continue // the audited seed boundary
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := importedPackage(pass.TypesInfo, sel.X)
+			if !ok {
+				return true
+			}
+			if pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2" {
+				return true
+			}
+			// Types (rand.Rand, rand.Source) and explicit constructors
+			// are fine; global draws are not.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global rand.%s draws from hidden process state; use the seeded simx RNG (internal/simx/rng.go)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

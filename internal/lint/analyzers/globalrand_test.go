@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Globalrand,
+		"gr",                    // global draws flagged, constructors allowed
+		"triplea/internal/simx", // rng.go is the audited seed boundary: exempt
+	)
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Maporder, "mo")
+}

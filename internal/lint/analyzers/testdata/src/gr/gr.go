@@ -1,0 +1,23 @@
+// Package gr exercises the globalrand analyzer: global math/rand draws
+// are banned repo-wide, explicit constructors and types are not.
+package gr
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(6)    // want `global rand\.Intn draws from hidden process state`
+	_ = rand.Float64()  // want `global rand\.Float64 draws from hidden process state`
+	_ = rand.Int63n(10) // want `global rand\.Int63n draws from hidden process state`
+	rand.Seed(42)       // want `global rand\.Seed draws from hidden process state`
+}
+
+func good() {
+	// Explicitly seeded generators are reproducible by construction.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(6)
+	_ = r.Float64()
+}
+
+// Type references alone never trigger the analyzer.
+var _ rand.Source
+var _ *rand.Rand

@@ -1,0 +1,27 @@
+// Package rand is a hermetic stand-in for math/rand.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{ src Source }
+
+type Zipf struct{}
+
+func New(src Source) *Rand                             { return &Rand{src: src} }
+func NewSource(seed int64) Source                      { return nil }
+func NewZipf(r *Rand, s, v float64, imax uint64) *Zipf { return nil }
+func Int() int                                         { return 0 }
+func Intn(n int) int                                   { return 0 }
+func Int63() int64                                     { return 0 }
+func Int63n(n int64) int64                             { return 0 }
+func Float64() float64                                 { return 0 }
+func Perm(n int) []int                                 { return nil }
+func Shuffle(n int, swap func(i, j int))               {}
+func Seed(seed int64)                                  {}
+
+func (r *Rand) Intn(n int) int       { return 0 }
+func (r *Rand) Float64() float64     { return 0 }
+func (r *Rand) Int63n(n int64) int64 { return 0 }

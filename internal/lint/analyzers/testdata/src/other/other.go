@@ -1,0 +1,5 @@
+// Package other sits outside floateq's reporting-package scope, so
+// exact float comparisons are not reported here.
+package other
+
+func Equalish(a, b float64) bool { return a == b }

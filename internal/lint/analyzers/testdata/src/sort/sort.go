@@ -1,0 +1,6 @@
+// Package sort is a hermetic stand-in for the standard library's sort.
+package sort
+
+func Ints(x []int)                          {}
+func Strings(x []string)                    {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,12 @@
+package st
+
+import "triplea/internal/simx"
+
+// Test files are exempt: fixtures pin small literal timestamps on
+// purpose.
+func fixture(eng *simx.Engine, fn func()) {
+	eng.Schedule(500, fn)
+	var deadline simx.Time = 250
+	_ = deadline
+	_ = config{Timeout: 99}
+}

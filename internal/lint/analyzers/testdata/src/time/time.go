@@ -1,0 +1,30 @@
+// Package time is a hermetic stand-in for the standard library's time
+// package, carrying just enough surface for the analyzer fixtures.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (d Duration) Nanoseconds() int64 { return int64(d) }
+
+type Time struct{ ns int64 }
+
+type Timer struct{}
+
+type Ticker struct{}
+
+func Now() Time                             { return Time{} }
+func Since(t Time) Duration                 { return 0 }
+func Until(t Time) Duration                 { return 0 }
+func Sleep(d Duration)                      {}
+func Tick(d Duration) <-chan Time           { return nil }
+func After(d Duration) <-chan Time          { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return nil }
+func NewTimer(d Duration) *Timer            { return nil }
+func NewTicker(d Duration) *Ticker          { return nil }

@@ -1,0 +1,11 @@
+// Package bench is outside the simulation package set, so wall-clock
+// use is allowed.
+package bench
+
+import "time"
+
+func Measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

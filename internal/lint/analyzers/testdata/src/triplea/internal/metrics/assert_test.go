@@ -1,0 +1,5 @@
+package metrics
+
+// Test files are exempt: exact expected-value assertions are a
+// legitimate testing idiom.
+func exactAssert(got float64) bool { return got != 0.5 }

@@ -1,0 +1,22 @@
+// Package metrics exercises the floateq analyzer inside a reporting
+// package: exact float equality is flagged, constant folds and
+// integer comparisons are not.
+package metrics
+
+func compare(a, b float64, n int) bool {
+	if a == b { // want `floating-point == comparison in a reporting package`
+		return true
+	}
+	if a != 1.5 { // want `floating-point != comparison in a reporting package`
+		return false
+	}
+	if n == 3 { // integers compare exactly
+		return true
+	}
+	return a <= b // range tests are the sanctioned form
+}
+
+// Both operands constant: exact by definition, stays legal.
+const eps = 1e-9
+
+var sameConst = eps == 1e-9

@@ -1,0 +1,18 @@
+// Package nand exercises the walltime analyzer inside a simulation
+// package: every wall-clock call must be reported.
+package nand
+
+import "time"
+
+func badClock() {
+	start := time.Now()         // want `wall-clock time\.Now in simulation package`
+	_ = time.Since(start)       // want `wall-clock time\.Since in simulation package`
+	time.Sleep(time.Second)     // want `wall-clock time\.Sleep in simulation package`
+	_ = time.After(time.Second) // want `wall-clock time\.After in simulation package`
+	_ = time.NewTimer(1)        // want `wall-clock time\.NewTimer in simulation package`
+}
+
+// Durations as plain values are fine; only the clock/timer calls are banned.
+func okDuration() time.Duration {
+	return 5 * time.Millisecond
+}

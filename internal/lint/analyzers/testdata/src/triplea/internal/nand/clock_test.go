@@ -1,0 +1,10 @@
+package nand
+
+import "time"
+
+// Test files may measure wall-clock time (e.g. benchmark scaffolding);
+// the analyzer must stay silent here.
+func timingHelper() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,31 @@
+// Package simx is a miniature stand-in for the repository's real
+// internal/simx, giving fixtures the Time type, unit constants, and
+// Engine scheduling surface the analyzers key on.
+package simx
+
+type Time int64
+
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+type Event struct{}
+
+type Engine struct{ now Time }
+
+func NewEngine() *Engine { return &Engine{} }
+
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) Schedule(delay Time, fn func()) *Event { return &Event{} }
+
+func (e *Engine) At(t Time, fn func()) *Event { return &Event{} }
+
+type RNG struct{ state uint64 }
+
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+func (r *RNG) Intn(n int) int { return 0 }

@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"triplea/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read or depend on
+// the host's wall clock. Pure conversions and constants (time.Duration,
+// time.Millisecond, ...) stay legal: they are deterministic values.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime bans wall-clock access inside the simulation core.
+//
+// The engine's clock (simx.Engine.Now) is the only notion of time a
+// simulation package may consult: one time.Now() in a latency model
+// couples results to host scheduling and destroys the bit-identical
+// rerun property every experiment depends on. Test files are exempt —
+// measuring real elapsed time around a simulation is legitimate.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in simulation packages",
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	if !isSimPackage(pass.Pkg) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := importedPackage(pass.TypesInfo, sel.X)
+			if !ok || pkg.Path() != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in simulation package %s breaks reproducibility; use the simx.Engine clock",
+				sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

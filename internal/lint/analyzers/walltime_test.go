@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Walltime,
+		"triplea/internal/nand", // sim package: violations reported, _test.go exempt
+		"tools/bench",           // non-sim package: wall clock allowed
+	)
+}

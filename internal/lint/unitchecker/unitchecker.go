@@ -1,0 +1,290 @@
+// Package unitchecker lets a simlint binary act as a `go vet -vettool`
+// backend, mirroring golang.org/x/tools/go/analysis/unitchecker with
+// only the standard library.
+//
+// The cmd/go vet driver speaks a small protocol to the tool:
+//
+//   - `tool -V=full` must print "<name> version devel comments-go-here
+//     buildID=<hash>" so cmd/go can include the tool in its build cache
+//     keys;
+//   - `tool -flags` must print a JSON array describing the tool's flags
+//     so cmd/go can validate command-line flags before dispatching them;
+//   - `tool <pkg>.cfg` analyzes one already-compiled package. The .cfg
+//     file is JSON (see Config) naming the package's Go files, its
+//     import map, and the export-data files of its dependencies. The
+//     tool must write cfg.VetxOutput (facts for dependents; simlint has
+//     none, so the file is empty), print diagnostics, and exit nonzero
+//     iff any were reported.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"triplea/internal/lint/analysis"
+)
+
+// Config is the JSON payload cmd/go writes to the .cfg file for each
+// package unit. Field names and meanings follow cmd/go/internal/work;
+// fields simlint does not consume are kept so decoding stays strict
+// about nothing and tolerant of everything.
+type Config struct {
+	ID                        string // e.g. "fmt [fmt.test]"
+	Compiler                  string // gc or gccgo
+	Dir                       string // package directory
+	ImportPath                string // canonical import path, possibly with " [variant]" suffix
+	GoVersion                 string // minimum required Go version, e.g. "go1.24"
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path in source -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // canonical path -> dependency facts file
+	VetxOnly                  bool              // run only to produce facts for dependents
+	VetxOutput                string            // where to write this package's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// A jsonFlag row is what `go vet` expects from `tool -flags`.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// Main is the entry point for a vettool built from simlint analyzers.
+// It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go protocol)")
+	flagsFlag := flag.Bool("flags", false, "print flags in JSON and exit (cmd/go protocol)")
+	jsonOut := flag.Bool("json", false, "emit JSON diagnostics instead of text")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only "+a.Name+" (and other explicitly enabled analyzers): "+a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion(progname)
+		os.Exit(0)
+	case *flagsFlag:
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoke via "go vet -vettool=$(command -v %s) ./..."`, progname)
+	}
+
+	// Flag semantics match x/tools: naming any analyzer restricts the
+	// run to the named set; naming none runs everything.
+	var selected []*analysis.Analyzer
+	anyNamed := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			anyNamed = true
+		}
+	}
+	for _, a := range analyzers {
+		if !anyNamed || *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+
+	ndiags, err := run(args[0], selected, *jsonOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ndiags > 0 && !*jsonOut {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion implements `tool -V=full`. cmd/go hashes this line into
+// its action IDs, so it must uniquely identify the binary's content.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+func printFlags(analyzers []*analysis.Analyzer) {
+	rows := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+	for _, a := range analyzers {
+		rows = append(rows, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// simlint analyzers produce no facts, but cmd/go requires the facts
+	// file to exist before it will cache the unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, fmt.Errorf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil // dependents only need our (empty) facts
+	}
+
+	fset := token.NewFileSet()
+	pkg, files, info, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	type outDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	jsonTree := make(map[string]map[string][]outDiag)
+	ndiags := 0
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		ndiags += len(diags)
+		for _, d := range diags {
+			posn := fset.Position(d.Pos)
+			if jsonOut {
+				byA := jsonTree[cfg.ImportPath]
+				if byA == nil {
+					byA = make(map[string][]outDiag)
+					jsonTree[cfg.ImportPath] = byA
+				}
+				byA[a.Name] = append(byA[a.Name], outDiag{Posn: posn.String(), Message: d.Message})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", posn, d.Message)
+			}
+		}
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(jsonTree, "", "\t")
+		if err != nil {
+			return 0, err
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+	}
+	return ndiags, nil
+}
+
+// typecheck parses and type-checks the unit described by cfg, resolving
+// imports through the export data the compiler already produced.
+func typecheck(fset *token.FileSet, cfg *Config) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = version.Lang(cfg.GoVersion)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Test variants carry an " [import/path.test]" suffix; the analyzers
+	// match packages by path suffix, so present the base path to them.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

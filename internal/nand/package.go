@@ -117,6 +117,7 @@ func (pk *Package) Params() Params { return pk.params }
 // Stats returns a snapshot of package activity.
 func (pk *Package) Stats() Stats {
 	s := pk.stats
+	//simlint:ordered commutative max over blocks
 	for _, bs := range pk.blocks {
 		if bs.eraseCount > s.MaxEraseWear {
 			s.MaxEraseWear = bs.eraseCount

@@ -1,0 +1,14 @@
+package simx
+
+import "time"
+
+// FromDuration is the audited bridge from wall-clock durations into
+// simulated time. Both sides count nanoseconds today, but the simtime
+// lint rule forbids raw simx.Time(d) conversions elsewhere so that any
+// future change to either unit has exactly one place to touch.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration is the audited bridge back out of simulated time, for
+// callers (reports, host-side tooling) that want to print or compare
+// simulated spans with time.Duration formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }

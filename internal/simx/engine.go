@@ -94,6 +94,7 @@ type Engine struct {
 	seq     uint64
 	running bool
 	fired   uint64
+	ck      ckState // empty unless built with -tags simcheck
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -130,6 +131,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	ev := &Event{when: t, seq: e.seq, fn: fn}
 	heap.Push(&e.events, ev)
+	if simcheckEnabled {
+		e.ckSchedule(ev)
+	}
 	return ev
 }
 
@@ -143,6 +147,9 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
+	if simcheckEnabled {
+		e.ckCancel(ev)
+	}
 	heap.Remove(&e.events, ev.index)
 }
 
@@ -153,6 +160,9 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancel {
 			continue
+		}
+		if simcheckEnabled {
+			e.ckStep(ev)
 		}
 		e.now = ev.when
 		e.fired++

@@ -1,0 +1,14 @@
+//go:build !simcheck
+
+package simx
+
+// simcheckEnabled is false in the default build; every
+// `if simcheckEnabled { ... }` call site below compiles away.
+const simcheckEnabled = false
+
+// ckState is empty without the tag, so the Engine pays no space.
+type ckState struct{}
+
+func (e *Engine) ckSchedule(ev *Event) {}
+func (e *Engine) ckStep(ev *Event)     {}
+func (e *Engine) ckCancel(ev *Event)   {}
