@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint vet check clean
+.PHONY: build test race simcheck lint lint-fix-list vet check clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ $(SIMLINT): $(shell find cmd/simlint internal/lint -name '*.go' -not -path '*/te
 # docs/static-analysis.md.
 lint: $(SIMLINT)
 	$(GO) vet -vettool=$(SIMLINT) ./...
+
+# Every active //simlint:* suppression with file:line, for periodic
+# audit (testdata fixtures excluded — their suppressions are the test).
+lint-fix-list:
+	@grep -rn '//simlint:[a-z]' --include='*.go' . \
+		| grep -v '/testdata/' | grep -v '^./internal/lint/' | grep -v '^./cmd/simlint/' \
+		| sed 's|^\./||' || echo "no active suppressions"
 
 vet:
 	$(GO) vet ./...

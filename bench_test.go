@@ -492,7 +492,7 @@ func BenchmarkFTLWriteAllocate(b *testing.B) {
 		PackagesPerFIMM: 8, Nand: nand.DefaultParams(),
 	}
 	f := ftl.New(g)
-	span := g.TotalPages() / 4
+	span := g.TotalPages().Int64() / 4
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -24,6 +24,7 @@ import (
 	"triplea/internal/metrics"
 	"triplea/internal/report"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -55,7 +56,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown layout %q", *layout))
 	}
-	cfg.HostDRAMBytes = *dram << 20
+	cfg.HostDRAMBytes = units.Bytes(*dram) * units.MiB
 
 	var reqs []trace.Request
 	var err error
@@ -122,7 +123,7 @@ func printResults(a *array.Array, rec *metrics.Recorder, mgr *core.Manager) {
 	g := a.Config().Geometry
 	fmt.Printf("array: %dx%d clusters, %d FIMMs, %.1f TB, mode: %s\n",
 		g.Switches, g.ClustersPerSwitch, g.TotalFIMMs(),
-		float64(g.TotalBytes())/(1<<40), mode)
+		float64(g.TotalBytes().Int64())/(1<<40), mode)
 	fmt.Printf("simulated: %v; %d requests (%d reads, %d writes)\n\n",
 		a.Engine().Now(), rec.Count(), rec.Reads(), rec.Writes())
 

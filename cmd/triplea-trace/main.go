@@ -14,6 +14,7 @@ import (
 
 	"triplea/internal/array"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -41,7 +42,7 @@ func main() {
 		}
 		s := trace.Summarize(reqs)
 		fmt.Printf("requests: %d (%d reads, %d writes)\n", s.Requests, s.Reads, s.Writes)
-		fmt.Printf("pages: %d (%.1f MiB)\n", s.Pages, float64(s.Pages)*4096/(1<<20))
+		fmt.Printf("pages: %d (%.1f MiB)\n", s.Pages, float64(units.PagesToBytes(s.Pages, 4*units.KiB).Int64())/(1<<20))
 		fmt.Printf("read ratio: %.1f%%\n", s.ReadRatio()*100)
 		fmt.Printf("duration: %v, offered: %s IOPS\n", s.DurationNS, fmt.Sprintf("%.0f", s.OfferedIOPS()))
 	case *wl != "":

@@ -13,6 +13,7 @@ import (
 	"triplea/internal/core"
 	"triplea/internal/simx"
 	"triplea/internal/topo"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -23,7 +24,7 @@ func main() {
 	// healthy FIMMs absorb it easily; the degraded one cannot.
 	p := workload.MicroRead(1, 20_000, 40_000)
 	p.HotIORatio = 0.8 // most traffic on cluster sw0/cl0
-	p.Footprint = 512
+	p.Footprint = 512 * units.Page
 
 	run := func(degrade, autonomic bool) {
 		cfg := array.DefaultConfig()

@@ -19,6 +19,7 @@ import (
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 			Arrival: now,
 			Op:      op,
 			LPN:     rng.Int63n(workingSet),
-			Pages:   1,
+			Pages:   units.Page,
 		})
 	}
 

@@ -11,6 +11,7 @@ import (
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 )
 
 // PageComplete describes one finished page command, delivered to the
@@ -18,7 +19,7 @@ import (
 type PageComplete struct {
 	LPN     int64
 	Op      trace.Op
-	Pages   int
+	Pages   units.Pages
 	Cluster topo.ClusterID
 	FIMM    int
 	Result  cluster.OpResult // device-level timing (Equation 1's tLatency)
@@ -102,7 +103,7 @@ func New(cfg Config) (*Array, error) {
 		busUtilAt:      make([]simx.Time, cfg.Geometry.TotalClusters()),
 		busUtilSnap:    make([]simx.Time, cfg.Geometry.TotalClusters()),
 		busUtilLast:    make([]float64, cfg.Geometry.TotalClusters()),
-		cache:          newDRAMCache(int(cfg.HostDRAMBytes / int64(cfg.Geometry.Nand.PageSizeBytes))),
+		cache:          newDRAMCache(units.BytesToPages(cfg.HostDRAMBytes, cfg.Geometry.Nand.PageSizeBytes)),
 	}
 	a.build()
 	return a, nil
@@ -229,8 +230,8 @@ func (a *Array) Prepare(reqs []trace.Request) error {
 		if r.Op != trace.Read {
 			continue
 		}
-		for p := 0; p < r.Pages; p++ {
-			if err := a.ensureMapped(r.LPN + int64(p)); err != nil {
+		for p := int64(0); p < r.Pages.Int64(); p++ {
+			if err := a.ensureMapped(r.LPN + p); err != nil {
 				return err
 			}
 		}
@@ -307,9 +308,9 @@ type request struct {
 	id       uint64
 	op       trace.Op
 	lpn      int64
-	pages    int
+	pages    units.Pages
 	submit   simx.Time
-	remain   int
+	remain   units.Pages
 	agg      metrics.Breakdown
 	maxAdmit simx.Time // latest page admission (RC stall reference)
 }
@@ -369,8 +370,8 @@ func (a *Array) Submit(r trace.Request) {
 		remain: r.Pages,
 	}
 	a.inFlight++
-	for p := 0; p < r.Pages; p++ {
-		lpn := r.LPN + int64(p)
+	for p := int64(0); p < r.Pages.Int64(); p++ {
+		lpn := r.LPN + p
 		if r.Op == trace.Read && a.cache.lookup(lpn) {
 			// Relocated host DRAM hit (Section 6.6): served at the
 			// management module, never entering the flash array network.
@@ -395,7 +396,7 @@ func (a *Array) Submit(r trace.Request) {
 func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
 	var ppn topo.PPN
 	var kind pcie.Kind
-	var payload int
+	var payload units.Bytes
 	var op cluster.Op
 	bufferHit := false
 
@@ -407,7 +408,7 @@ func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
 		ppn, _ = a.ftl.Lookup(lpn)
 		kind, op = pcie.MemRead, cluster.OpRead
 		bufferHit = a.pendingFlush[ppn]
-	default:
+	case trace.Write:
 		target := a.ftl.ResidentFIMM(lpn)
 		if a.hooks != nil {
 			target = a.hooks.WriteTarget(lpn, target)
@@ -611,7 +612,7 @@ func (a *Array) deliver(pkt *pcie.Packet) {
 		a.hooks.OnPageComplete(PageComplete{
 			LPN:     ref.lpn,
 			Op:      req.op,
-			Pages:   1,
+			Pages:   units.Page,
 			Cluster: clusterID,
 			FIMM:    cmd.FIMM,
 			Result:  res,
@@ -668,7 +669,7 @@ func (a *Array) CheckConsistency() error {
 			return true // program still buffered; device state lags by design
 		}
 		if st := a.pkgAt(ppn).PageStateAt(ppn.NandAddr(g)); st != nand.PageValid {
-			err = fmt.Errorf("array: LPN %d maps to %v in device state %d, want valid", lpn, ppn, st)
+			err = fmt.Errorf("array: LPN %d maps to %v in device state %v, want valid", lpn, ppn, st)
 			return false
 		}
 		return true

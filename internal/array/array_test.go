@@ -9,6 +9,7 @@ import (
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -32,7 +33,7 @@ func TestDefaultConfigValid(t *testing.T) {
 		t.Fatalf("DefaultConfig invalid: %v", err)
 	}
 	// Paper baseline: 16 TB across 64 clusters.
-	if got := cfg.Geometry.TotalBytes(); got != int64(16)<<40 {
+	if got := cfg.Geometry.TotalBytes(); got != 16*1024*units.GiB {
 		t.Errorf("capacity = %d, want 16 TiB", got)
 	}
 	if cfg.SLA != 3300*simx.Nanosecond {

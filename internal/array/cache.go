@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // dramCache is the large DRAM the paper relocates from the SSDs'
@@ -16,7 +17,7 @@ import (
 // cache does NOT resolve link or storage contention: misses and
 // buffer-bypassing traffic still share the same buses and FIMMs.
 type dramCache struct {
-	capacity int // pages; <= 0 disables the cache
+	capacity units.Pages // <= 0 disables the cache
 	lru      *list.List
 	index    map[int64]*list.Element
 
@@ -26,8 +27,8 @@ type dramCache struct {
 
 // CacheStats reports host DRAM cache activity.
 type CacheStats struct {
-	CapacityPages int
-	ResidentPages int
+	CapacityPages units.Pages
+	ResidentPages units.Pages
 	Hits          uint64
 	Misses        uint64
 }
@@ -40,7 +41,7 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-func newDRAMCache(capacityPages int) *dramCache {
+func newDRAMCache(capacityPages units.Pages) *dramCache {
 	if capacityPages <= 0 {
 		return &dramCache{}
 	}
@@ -77,7 +78,7 @@ func (c *dramCache) install(lpn int64) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	if c.lru.Len() >= c.capacity {
+	if units.Pages(c.lru.Len()) >= c.capacity {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.index, oldest.Value.(int64))
@@ -88,7 +89,7 @@ func (c *dramCache) install(lpn int64) {
 func (c *dramCache) stats() CacheStats {
 	s := CacheStats{CapacityPages: c.capacity, Hits: c.hits, Misses: c.misses}
 	if c.lru != nil {
-		s.ResidentPages = c.lru.Len()
+		s.ResidentPages = units.Pages(c.lru.Len())
 	}
 	return s
 }

@@ -162,7 +162,7 @@ func TestDegradationOnlyAffectsTargetSlot(t *testing.T) {
 	a, _ := New(cfg)
 	// FIMM 1 of the same cluster stays healthy: its LPNs start at
 	// PagesPerFIMM.
-	other := cfg.Geometry.PagesPerFIMM()
+	other := cfg.Geometry.PagesPerFIMM().Int64()
 	rec, err := a.Run([]trace.Request{{Arrival: 0, Op: trace.Read, LPN: other, Pages: 1}})
 	if err != nil {
 		t.Fatal(err)

@@ -12,8 +12,10 @@ import (
 	"triplea/internal/fimm"
 	"triplea/internal/ftl"
 	"triplea/internal/nand"
+	"triplea/internal/pcie"
 	"triplea/internal/simx"
 	"triplea/internal/topo"
+	"triplea/internal/units"
 )
 
 // Config describes a full array build.
@@ -21,7 +23,7 @@ type Config struct {
 	Geometry topo.Geometry
 
 	// Endpoint parameters not implied by the geometry.
-	BusPins         int
+	BusPins         units.Lanes
 	BusMHz          int
 	BusDDR          bool
 	QueueEntries    int
@@ -34,14 +36,14 @@ type Config struct {
 	HostPriority bool
 
 	// FIMM channel parameters.
-	ChannelPins int
+	ChannelPins units.Lanes
 	ChannelMHz  int
 	ChannelDDR  bool
 
 	// Fabric parameters.
-	EPLinkBytesPerSec     int64     // switch <-> endpoint links
-	SwitchLinkBytesPerSec int64     // RC <-> switch links
-	LinkPropagation       simx.Time // per hop
+	EPLinkBytesPerSec     units.BytesPerSec // switch <-> endpoint links
+	SwitchLinkBytesPerSec units.BytesPerSec // RC <-> switch links
+	LinkPropagation       simx.Time         // per hop
 	SwitchRouteLatency    simx.Time
 	RCRouteLatency        simx.Time
 	EPLinkCredits         int
@@ -54,10 +56,10 @@ type Config struct {
 	// (Section 6.6); zero disables host caching. Triple-A moves the
 	// SSDs' on-board DRAM here — caching still works, but, as the paper
 	// argues, it cannot resolve the array's link/storage contentions.
-	HostDRAMBytes int64
+	HostDRAMBytes units.Bytes
 
 	Layout      ftl.Layout
-	GCThreshold int
+	GCThreshold units.Blocks
 	// OpportunisticGC defers background garbage collection while the
 	// target cluster's shared bus is busy, running it in idle windows
 	// instead (the paper's Section 8 "array-level garbage collection
@@ -89,7 +91,7 @@ func DefaultConfig() Config {
 			PackagesPerFIMM:   8,
 			Nand:              nand.DefaultParams(),
 		},
-		BusPins:         8,
+		BusPins:         8 * units.Lane,
 		BusMHz:          400,
 		BusDDR:          false,
 		QueueEntries:    64,
@@ -98,12 +100,12 @@ func DefaultConfig() Config {
 		StagingEntries:  32,
 		HALLatency:      200 * simx.Nanosecond,
 
-		ChannelPins: 16,
+		ChannelPins: 16 * units.Lane,
 		ChannelMHz:  400,
 		ChannelDDR:  true,
 
-		EPLinkBytesPerSec:     4_000_000_000,  // ~PCI-E 3.0 x4
-		SwitchLinkBytesPerSec: 16_000_000_000, // ~PCI-E 3.0 x16
+		EPLinkBytesPerSec:     pcie.Gen3Bandwidth(4 * units.Lane),  // PCI-E 3.0 x4
+		SwitchLinkBytesPerSec: pcie.Gen3Bandwidth(16 * units.Lane), // PCI-E 3.0 x16
 		LinkPropagation:       100 * simx.Nanosecond,
 		SwitchRouteLatency:    150 * simx.Nanosecond,
 		RCRouteLatency:        200 * simx.Nanosecond,
@@ -114,7 +116,7 @@ func DefaultConfig() Config {
 		SLA:            3300 * simx.Nanosecond,
 
 		Layout:      ftl.LayoutClustered,
-		GCThreshold: 2,
+		GCThreshold: 2 * units.Block,
 	}
 }
 

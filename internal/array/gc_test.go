@@ -47,7 +47,7 @@ func TestOpportunisticGCDefersUnderLoad(t *testing.T) {
 	reqs := overwriteTrace(20, 4, simx.Millisecond/2)
 	// Dense read traffic across two FIMMs of the same cluster keeps the
 	// shared bus saturated (die time overlaps, transfers serialise).
-	perFIMM := gcConfig().Geometry.PagesPerFIMM()
+	perFIMM := gcConfig().Geometry.PagesPerFIMM().Int64()
 	var mixed []trace.Request
 	for i, w := range reqs {
 		mixed = append(mixed, w)

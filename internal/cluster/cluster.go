@@ -22,6 +22,7 @@ import (
 	"triplea/internal/pcie"
 	"triplea/internal/simx"
 	"triplea/internal/topo"
+	"triplea/internal/units"
 )
 
 // Params describes one cluster.
@@ -30,7 +31,7 @@ type Params struct {
 	FIMM     fimm.Params
 
 	// Shared local bus between the FIMM slots and the endpoint logic.
-	BusPins int
+	BusPins units.Lanes
 	BusMHz  int
 	BusDDR  bool
 
@@ -61,7 +62,7 @@ func DefaultParams() Params {
 	return Params{
 		NumFIMMs:        4,
 		FIMM:            fimm.DefaultParams(),
-		BusPins:         16,
+		BusPins:         16 * units.Lane,
 		BusMHz:          400,
 		BusDDR:          true,
 		QueueEntries:    64,
@@ -77,7 +78,7 @@ func (p Params) Validate() error {
 	switch {
 	case p.NumFIMMs <= 0:
 		return fmt.Errorf("cluster: NumFIMMs %d must be positive", p.NumFIMMs)
-	case p.BusPins != 8 && p.BusPins != 16:
+	case p.BusPins != 8*units.Lane && p.BusPins != 16*units.Lane:
 		return fmt.Errorf("cluster: BusPins %d must be 8 or 16", p.BusPins)
 	case p.BusMHz <= 0:
 		return fmt.Errorf("cluster: BusMHz %d must be positive", p.BusMHz)
@@ -94,20 +95,14 @@ func (p Params) Validate() error {
 }
 
 // BusBytesPerSec reports the shared local bus bandwidth.
-func (p Params) BusBytesPerSec() int64 {
-	mt := int64(p.BusMHz) * 1_000_000
-	if p.BusDDR {
-		mt *= 2
-	}
-	return mt * int64(p.BusPins) / 8
+func (p Params) BusBytesPerSec() units.BytesPerSec {
+	return units.BusBandwidth(p.BusPins, p.BusMHz, p.BusDDR)
 }
 
 // BusPageTime reports the shared-bus time for one page — the tDMA of
 // Equations 1 and 3.
 func (p Params) BusPageTime() simx.Time {
-	bps := p.BusBytesPerSec()
-	ns := (int64(p.FIMM.Nand.PageSizeBytes)*1_000_000_000 + bps - 1) / bps
-	return simx.Time(ns)
+	return units.TransferTime(p.FIMM.Nand.PageSizeBytes, p.BusBytesPerSec())
 }
 
 // Op identifies a cluster command type.
@@ -119,10 +114,13 @@ const (
 )
 
 func (o Op) String() string {
-	if o == OpRead {
+	switch o {
+	case OpRead:
 		return "read"
+	case OpWrite:
+		return "write"
 	}
-	return "write"
+	return "unknown"
 }
 
 // OpResult decomposes one command's time inside the cluster.
@@ -176,7 +174,7 @@ type Command struct {
 }
 
 // Pages reports the page count of the command.
-func (c *Command) Pages() int { return len(c.Addrs) }
+func (c *Command) Pages() units.Pages { return units.Pages(len(c.Addrs)) }
 
 // Stats aggregates endpoint activity.
 type Stats struct {
@@ -473,7 +471,7 @@ func (ep *Endpoint) moveUpstream(cmd *Command) {
 	ep.releaseFIMMSlot(cmd.FIMM)
 	ep.staging.Acquire(func(stageWait simx.Time) {
 		ep.bus.Acquire(func(busWait simx.Time) {
-			xfer := ep.params.BusPageTime() * simx.Time(cmd.Pages())
+			xfer := units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
 			ep.eng.Schedule(xfer, func() {
 				ep.bus.Release()
 				cmd.Result.LinkWait += stageWait + busWait
@@ -510,7 +508,7 @@ func (ep *Endpoint) finishRead(cmd *Command) {
 	pkt := &pcie.Packet{
 		Kind:    pcie.Completion,
 		Addr:    ep.routeAddr(),
-		Payload: cmd.Pages() * ep.params.FIMM.Nand.PageSizeBytes,
+		Payload: units.PagesToBytes(cmd.Pages(), ep.params.FIMM.Nand.PageSizeBytes),
 		Meta:    cmd,
 	}
 	ep.up.Send(pkt, func() { ep.staging.Release() })
@@ -546,7 +544,7 @@ func (ep *Endpoint) admitWrite(cmd *Command) {
 // the FIMM, then frees the buffer entry.
 func (ep *Endpoint) flushWrite(cmd *Command) {
 	ep.bus.Acquire(func(busWait simx.Time) {
-		xfer := ep.params.BusPageTime() * simx.Time(cmd.Pages())
+		xfer := units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
 		ep.eng.Schedule(xfer, func() {
 			ep.bus.Release()
 			cmd.Result.LinkWait += busWait

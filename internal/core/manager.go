@@ -21,6 +21,7 @@ import (
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 )
 
 // LaggardStrategy selects how laggards are detected (Section 4.2).
@@ -36,10 +37,13 @@ const (
 )
 
 func (s LaggardStrategy) String() string {
-	if s == QueueExamination {
+	switch s {
+	case LatencyMonitoring:
+		return "latency-monitoring"
+	case QueueExamination:
 		return "queue-examination"
 	}
-	return "latency-monitoring"
+	return "unknown"
 }
 
 // Options configures the manager. The zero value disables everything;
@@ -219,8 +223,9 @@ func (m *Manager) rememberServed(pc array.PageComplete) {
 
 // hotThreshold is the right-hand side of Equation 1:
 // tDMA*(npage + nFIMM - 1) + texe*npage.
-func (m *Manager) hotThreshold(npage int) simx.Time {
-	return m.busTime*simx.Time(npage+m.nFIMM-1) + m.texeRead*simx.Time(npage)
+func (m *Manager) hotThreshold(npage units.Pages) simx.Time {
+	waves := npage + units.Pages(m.nFIMM) - 1
+	return units.ScaleByPages(m.busTime, waves) + units.ScaleByPages(m.texeRead, npage)
 }
 
 // manageLinkContention applies Equation 1 to the completed request and,
@@ -369,7 +374,7 @@ func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
 			return nil
 		}
 		return out
-	default: // LatencyMonitoring, Equation 3
+	case LatencyMonitoring: // Equation 3
 		var out []bool
 		perReq := m.busTime + m.texeRead
 		for i, n := range stalled {
@@ -382,6 +387,7 @@ func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
 		}
 		return out
 	}
+	return nil
 }
 
 // allLaggards reports whether every slot is marked.

@@ -480,7 +480,7 @@ func TestBatchReshapingDrainsLaggard(t *testing.T) {
 		t.Fatal(err)
 	}
 	onLaggard := 0
-	perFIMM := cfg.Geometry.PagesPerFIMM()
+	perFIMM := cfg.Geometry.PagesPerFIMM().Int64()
 	for lpn := int64(0); lpn < perFIMM && lpn < 128; lpn++ {
 		if a.FTL().ResidentFIMM(lpn) == slow {
 			onLaggard++

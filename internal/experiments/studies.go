@@ -7,6 +7,7 @@ import (
 	"triplea/internal/core"
 	"triplea/internal/cost"
 	"triplea/internal/report"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -31,8 +32,8 @@ func (s *Suite) dramStudy() (*report.Table, error) {
 
 	// Size the DRAM at a quarter of the touched footprint: a realistic
 	// cache that helps but cannot absorb the hot region.
-	footprintBytes := p.Footprint * int64(s.Config.Geometry.TotalClusters()) *
-		int64(s.Config.Geometry.Nand.PageSizeBytes)
+	footprint := p.Footprint * units.Pages(s.Config.Geometry.TotalClusters())
+	footprintBytes := units.PagesToBytes(footprint, s.Config.Geometry.Nand.PageSizeBytes)
 	dramBytes := footprintBytes / 4
 
 	t := report.NewTable(

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triplea/internal/report"
+	"triplea/internal/units"
 	"triplea/internal/workload"
 )
 
@@ -88,7 +89,7 @@ func (s *Suite) Wear() (WearResult, *report.Table, error) {
 	p.Name = "mixed"
 	p.ReadRatio = 0.5
 	p.WriteRandomness = 1
-	p.Footprint = 512 // heavy overwrites keep pages hot
+	p.Footprint = 512 * units.Page // heavy overwrites keep pages hot
 	r, err := s.RunProfile(p)
 	if err != nil {
 		return WearResult{}, nil, err

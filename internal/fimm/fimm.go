@@ -20,14 +20,15 @@ import (
 
 	"triplea/internal/nand"
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // Params describes one FIMM.
 type Params struct {
-	NumPackages int  // NAND packages on the module (paper: 8)
-	ChannelPins int  // data pins of the shared channel (paper: 16)
-	ChannelMHz  int  // NV-DDR2 clock (paper: 400)
-	ChannelDDR  bool // double data rate
+	NumPackages int         // NAND packages on the module (paper: 8)
+	ChannelPins units.Lanes // data pins of the shared channel (paper: 16)
+	ChannelMHz  int         // NV-DDR2 clock (paper: 400)
+	ChannelDDR  bool        // double data rate
 
 	Nand nand.Params
 }
@@ -37,7 +38,7 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{
 		NumPackages: 8,
-		ChannelPins: 16,
+		ChannelPins: 16 * units.Lane,
 		ChannelMHz:  400,
 		ChannelDDR:  true,
 		Nand:        nand.DefaultParams(),
@@ -49,7 +50,7 @@ func (p Params) Validate() error {
 	switch {
 	case p.NumPackages <= 0:
 		return fmt.Errorf("fimm: NumPackages %d must be positive", p.NumPackages)
-	case p.ChannelPins != 8 && p.ChannelPins != 16:
+	case p.ChannelPins != 8*units.Lane && p.ChannelPins != 16*units.Lane:
 		return fmt.Errorf("fimm: ChannelPins %d must be 8 or 16", p.ChannelPins)
 	case p.ChannelMHz <= 0:
 		return fmt.Errorf("fimm: ChannelMHz %d must be positive", p.ChannelMHz)
@@ -58,30 +59,24 @@ func (p Params) Validate() error {
 }
 
 // CapacityBytes reports the module capacity.
-func (p Params) CapacityBytes() int64 {
-	return int64(p.NumPackages) * p.Nand.BytesPerPackage()
+func (p Params) CapacityBytes() units.Bytes {
+	return units.Bytes(p.NumPackages) * p.Nand.BytesPerPackage()
 }
 
 // PageCount reports the number of pages on the module.
-func (p Params) PageCount() int64 {
-	return int64(p.NumPackages) * p.Nand.PagesPerPackage()
+func (p Params) PageCount() units.Pages {
+	return units.Pages(p.NumPackages) * p.Nand.PagesPerPackage()
 }
 
 // ChannelBytesPerSec reports the shared channel's raw bandwidth.
-func (p Params) ChannelBytesPerSec() int64 {
-	mt := int64(p.ChannelMHz) * 1_000_000
-	if p.ChannelDDR {
-		mt *= 2
-	}
-	return mt * int64(p.ChannelPins) / 8
+func (p Params) ChannelBytesPerSec() units.BytesPerSec {
+	return units.BusBandwidth(p.ChannelPins, p.ChannelMHz, p.ChannelDDR)
 }
 
 // PageTransferTime reports the channel time for one page — the tDMA of
 // Equations 1–3 evaluated at the FIMM channel.
 func (p Params) PageTransferTime() simx.Time {
-	bps := p.ChannelBytesPerSec()
-	ns := (int64(p.Nand.PageSizeBytes)*1_000_000_000 + bps - 1) / bps
-	return simx.Time(ns)
+	return units.TransferTime(p.Nand.PageSizeBytes, p.ChannelBytesPerSec())
 }
 
 // Result reports the timing decomposition of one FIMM operation.
@@ -103,7 +98,7 @@ type Stats struct {
 	Reads        uint64
 	Programs     uint64
 	Erases       uint64
-	BytesMoved   int64
+	BytesMoved   units.Bytes
 	ChannelBusy  simx.Time
 	TotalErases  uint64
 	MaxBlockWear int
@@ -210,12 +205,12 @@ func (f *FIMM) Read(pkg int, addrs []nand.Addr, done func(Result)) {
 		// texe from nand includes die queueing; split out the nominal
 		// cell time so storage contention is visible separately.
 		wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpRead, len(addrs)))
-		xfer := f.params.PageTransferTime() * simx.Time(len(addrs))
+		xfer := units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
 		f.channel.Acquire(func(waited simx.Time) {
 			f.eng.Schedule(xfer, func() {
 				f.channel.Release()
 				f.stats.Reads += uint64(len(addrs))
-				f.stats.BytesMoved += int64(len(addrs)) * int64(f.params.Nand.PageSizeBytes)
+				f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(addrs)), f.params.Nand.PageSizeBytes)
 				done(Result{
 					StorageWait: wait,
 					Texe:        cell,
@@ -237,7 +232,7 @@ func (f *FIMM) Program(pkg int, addrs []nand.Addr, done func(Result)) {
 		done(Result{Err: err})
 		return
 	}
-	xfer := f.params.PageTransferTime() * simx.Time(len(addrs))
+	xfer := units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
 	f.channel.Acquire(func(waited simx.Time) {
 		f.eng.Schedule(xfer, func() {
 			f.channel.Release()
@@ -248,7 +243,7 @@ func (f *FIMM) Program(pkg int, addrs []nand.Addr, done func(Result)) {
 				}
 				wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpProgram, len(addrs)))
 				f.stats.Programs += uint64(len(addrs))
-				f.stats.BytesMoved += int64(len(addrs)) * int64(f.params.Nand.PageSizeBytes)
+				f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(addrs)), f.params.Nand.PageSizeBytes)
 				done(Result{
 					StorageWait: wait,
 					Texe:        cell,

@@ -6,6 +6,7 @@ import (
 
 	"triplea/internal/nand"
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 func testParams() Params {
@@ -22,7 +23,7 @@ func TestDefaultParams(t *testing.T) {
 		t.Fatalf("DefaultParams invalid: %v", err)
 	}
 	// 8 packages x 8 GiB = 64 GiB, the paper's FIMM capacity.
-	want := int64(64) << 30
+	want := 64 * units.GiB
 	if got := p.CapacityBytes(); got != want {
 		t.Errorf("CapacityBytes = %d, want %d (64 GiB)", got, want)
 	}
@@ -30,8 +31,8 @@ func TestDefaultParams(t *testing.T) {
 	if got := p.PageTransferTime(); got != 2560 {
 		t.Errorf("PageTransferTime = %v, want 2560ns", got)
 	}
-	if got := p.PageCount(); got != want/4096 {
-		t.Errorf("PageCount = %d, want %d", got, want/4096)
+	if got := p.PageCount(); got != units.BytesToPages(want, 4*units.KiB) {
+		t.Errorf("PageCount = %d, want %d", got, units.BytesToPages(want, 4*units.KiB))
 	}
 }
 
@@ -247,7 +248,7 @@ func TestBytesMovedAccounting(t *testing.T) {
 	programOne(t, eng, f, 0, a)
 	f.Read(0, []nand.Addr{a}, func(Result) {})
 	eng.Run()
-	want := int64(2 * p.Nand.PageSizeBytes) // one program + one read
+	want := 2 * p.Nand.PageSizeBytes // one program + one read
 	if got := f.Stats().BytesMoved; got != want {
 		t.Errorf("BytesMoved = %d, want %d", got, want)
 	}

@@ -154,7 +154,7 @@ func (fa *fimmAlloc) claimDense(f *FTL, ppn topo.PPN) bool {
 	} else if bi.state != blockDense {
 		return false
 	}
-	bi.ensureMask(g.Nand.PagesPerBlock)
+	bi.ensureMask(g.Nand.PagesPerBlock.Int())
 	if bi.isValid(ppn.Page()) {
 		panic(fmt.Sprintf("ftl: dense page %v claimed twice", ppn))
 	}
@@ -173,13 +173,13 @@ func (fa *fimmAlloc) allocPage(f *FTL, id topo.FIMMID) (topo.PPN, error) {
 		unit := (fa.rr + attempt) % len(fa.units)
 		u := fa.units[unit]
 		if u.active < 0 {
-			b, bi, ok := u.takeFreeBlock(g.Nand.BlocksPerPlane)
+			b, bi, ok := u.takeFreeBlock(g.Nand.BlocksPerPlane.Int())
 			if !ok {
 				continue
 			}
 			bi.state = blockActive
 			bi.next = 0
-			bi.ensureMask(g.Nand.PagesPerBlock)
+			bi.ensureMask(g.Nand.PagesPerBlock.Int())
 			u.active = b
 			u.allocated++
 		}
@@ -190,7 +190,7 @@ func (fa *fimmAlloc) allocPage(f *FTL, id topo.FIMMID) (topo.PPN, error) {
 		pkg, die, plane := unitCoords(g, unit)
 		block := u.active*g.Nand.PlanesPerDie + plane
 		ppn := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, block, page)
-		if bi.next >= g.Nand.PagesPerBlock {
+		if bi.next >= g.Nand.PagesPerBlock.Int() {
 			bi.state = blockFull
 			u.active = -1
 		}

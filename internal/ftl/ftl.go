@@ -18,6 +18,7 @@ import (
 	"slices"
 
 	"triplea/internal/topo"
+	"triplea/internal/units"
 )
 
 // Layout selects the static logical→physical placement of
@@ -107,7 +108,7 @@ func (s Stats) WriteAmplification() float64 {
 type FTL struct {
 	geom        topo.Geometry
 	layout      Layout
-	gcThreshold int // free blocks per unit below which GC is wanted
+	gcThreshold units.Blocks // free blocks per unit below which GC is wanted
 
 	pageMap map[int64]topo.PPN // lpn -> current ppn
 	reverse map[topo.PPN]int64 // ppn -> lpn, dynamic pages only
@@ -125,7 +126,7 @@ type Option func(*FTL)
 func WithLayout(l Layout) Option { return func(f *FTL) { f.layout = l } }
 
 // WithGCThreshold sets the per-unit free-block low-water mark (default 2).
-func WithGCThreshold(n int) Option { return func(f *FTL) { f.gcThreshold = n } }
+func WithGCThreshold(n units.Blocks) Option { return func(f *FTL) { f.gcThreshold = n } }
 
 // New builds an FTL for the geometry; an invalid geometry panics.
 func New(geom topo.Geometry, opts ...Option) *FTL {
@@ -135,7 +136,7 @@ func New(geom topo.Geometry, opts ...Option) *FTL {
 	f := &FTL{
 		geom:        geom,
 		layout:      LayoutClustered,
-		gcThreshold: 2,
+		gcThreshold: 2 * units.Block,
 		pageMap:     make(map[int64]topo.PPN),
 		reverse:     make(map[topo.PPN]int64),
 		fimms:       make(map[int]*fimmAlloc),
@@ -174,7 +175,7 @@ func (f *FTL) ForEachMapping(visit func(lpn int64, ppn topo.PPN) bool) {
 }
 
 func (f *FTL) checkLPN(lpn int64) error {
-	if lpn < 0 || lpn >= f.geom.TotalPages() {
+	if lpn < 0 || lpn >= f.geom.TotalPages().Int64() {
 		return fmt.Errorf("ftl: LPN %d out of range [0,%d)", lpn, f.geom.TotalPages())
 	}
 	return nil
@@ -187,10 +188,11 @@ func (f *FTL) home(lpn int64) (fimmFlat int, fp int64) {
 	case LayoutStriped:
 		n := int64(f.geom.TotalFIMMs())
 		return int(lpn % n), lpn / n
-	default: // LayoutClustered
-		per := f.geom.PagesPerFIMM()
+	case LayoutClustered:
+		per := f.geom.PagesPerFIMM().Int64()
 		return int(lpn / per), lpn % per
 	}
+	panic("ftl: unknown layout")
 }
 
 // HomeFIMM reports the LPN's static home FIMM.
@@ -243,8 +245,8 @@ func (f *FTL) densePPN(fimmFlat int, fp int64) topo.PPN {
 	dies := g.Nand.DiesPerPackage
 	unit := int(fp % int64(u))
 	rest := fp / int64(u)
-	pageInBlock := int(rest % int64(g.Nand.PagesPerBlock))
-	planeLocalBlock := int(rest / int64(g.Nand.PagesPerBlock))
+	pageInBlock := int(rest % g.Nand.PagesPerBlock.Int64())
+	planeLocalBlock := int(rest / g.Nand.PagesPerBlock.Int64())
 
 	pkg := unit / (dies * planes)
 	die := (unit / planes) % dies
@@ -263,7 +265,7 @@ func (f *FTL) denseFP(ppn topo.PPN) int64 {
 	plane := ppn.Block() % planes
 	planeLocalBlock := ppn.Block() / planes
 	unit := (ppn.Pkg()*dies+ppn.Die())*planes + plane
-	rest := int64(planeLocalBlock)*int64(g.Nand.PagesPerBlock) + int64(ppn.Page())
+	rest := int64(planeLocalBlock)*g.Nand.PagesPerBlock.Int64() + int64(ppn.Page())
 	return rest*int64(g.ParallelUnitsPerFIMM()) + int64(unit)
 }
 
@@ -273,9 +275,10 @@ func (f *FTL) lpnFromHome(fimmFlat int, fp int64) int64 {
 	switch f.layout {
 	case LayoutStriped:
 		return fp*int64(f.geom.TotalFIMMs()) + int64(fimmFlat)
-	default:
-		return int64(fimmFlat)*f.geom.PagesPerFIMM() + fp
+	case LayoutClustered:
+		return int64(fimmFlat)*f.geom.PagesPerFIMM().Int64() + fp
 	}
+	panic("ftl: unknown layout")
 }
 
 // Prepopulate installs the static mapping for an LPN that the workload
@@ -361,12 +364,12 @@ func (f *FTL) allocate(lpn int64, target topo.FIMMID, kind WriteKind) (WriteAllo
 		f.ckMapped(lpn, ppn)
 	}
 	switch kind {
+	case WriteHost:
+		f.stats.HostWrites++
 	case WriteGC:
 		f.stats.GCWrites++
 	case WriteMigration:
 		f.stats.MigrationWrites++
-	default:
-		f.stats.HostWrites++
 	}
 	return wa, nil
 }

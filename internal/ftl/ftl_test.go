@@ -40,14 +40,14 @@ func TestLayoutStrings(t *testing.T) {
 func TestHomeClustered(t *testing.T) {
 	g := tinyGeometry()
 	f := New(g)
-	per := g.PagesPerFIMM()
+	per := g.PagesPerFIMM().Int64()
 	if got := f.HomeFIMM(0); got.Flat(g) != 0 {
 		t.Errorf("LPN 0 home = %v", got)
 	}
 	if got := f.HomeFIMM(per); got.Flat(g) != 1 {
 		t.Errorf("LPN %d home = %v, want FIMM 1", per, got)
 	}
-	last := g.TotalPages() - 1
+	last := g.TotalPages().Int64() - 1
 	if got := f.HomeFIMM(last); got.Flat(g) != g.TotalFIMMs()-1 {
 		t.Errorf("last LPN home = %v", got)
 	}
@@ -69,7 +69,7 @@ func TestLPNRangeChecked(t *testing.T) {
 	if _, err := f.AllocateWrite(-1); err == nil {
 		t.Error("negative LPN accepted")
 	}
-	if _, err := f.AllocateWrite(f.Geometry().TotalPages()); err == nil {
+	if _, err := f.AllocateWrite(f.Geometry().TotalPages().Int64()); err == nil {
 		t.Error("LPN beyond capacity accepted")
 	}
 	if _, _, err := f.Prepopulate(-5); err == nil {
@@ -241,7 +241,7 @@ func TestNoSpace(t *testing.T) {
 	g := tinyGeometry()
 	f := New(g, WithGCThreshold(0))
 	id := f.HomeFIMM(0)
-	total := int(g.PagesPerFIMM())
+	total := g.PagesPerFIMM().Int()
 	n := 0
 	for ; n <= total; n++ {
 		if _, err := f.AllocateWriteAt(int64(n)%4, id); err != nil {

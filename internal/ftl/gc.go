@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"triplea/internal/topo"
+	"triplea/internal/units"
 )
 
 // GCMove is one valid page to relocate out of a victim block.
@@ -30,7 +31,7 @@ func (f *FTL) GCPressure(id topo.FIMMID) bool {
 		return false
 	}
 	for _, u := range fa.units {
-		if u.freeBlocks(f.geom.Nand.BlocksPerPlane) < f.gcThreshold {
+		if units.Blocks(u.freeBlocks(f.geom.Nand.BlocksPerPlane.Int())) < f.gcThreshold {
 			return true
 		}
 	}
@@ -39,14 +40,14 @@ func (f *FTL) GCPressure(id topo.FIMMID) bool {
 
 // MinFreeBlocks reports the free-block count of the FIMM's most
 // pressured parallel unit (the urgency signal for GC scheduling).
-func (f *FTL) MinFreeBlocks(id topo.FIMMID) int {
+func (f *FTL) MinFreeBlocks(id topo.FIMMID) units.Blocks {
 	fa := f.fimms[id.Flat(f.geom)]
 	if fa == nil {
 		return f.geom.Nand.BlocksPerPlane
 	}
 	min := f.geom.Nand.BlocksPerPlane
 	for _, u := range fa.units {
-		if free := u.freeBlocks(f.geom.Nand.BlocksPerPlane); free < min {
+		if free := units.Blocks(u.freeBlocks(f.geom.Nand.BlocksPerPlane.Int())); free < min {
 			min = free
 		}
 	}
@@ -68,8 +69,8 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 	// Most pressured unit first.
 	unitIdx, minFree := -1, int(^uint(0)>>1)
 	for i, u := range fa.units {
-		free := u.freeBlocks(g.Nand.BlocksPerPlane)
-		if free < f.gcThreshold && free < minFree {
+		free := u.freeBlocks(g.Nand.BlocksPerPlane.Int())
+		if units.Blocks(free) < f.gcThreshold && free < minFree {
 			unitIdx, minFree = i, free
 		}
 	}
@@ -116,7 +117,7 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 		Victim: topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0),
 	}
 	bi := u.touched[victimBlock]
-	for page := 0; page < g.Nand.PagesPerBlock; page++ {
+	for page := 0; page < g.Nand.PagesPerBlock.Int(); page++ {
 		if !bi.isValid(page) {
 			continue
 		}

@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Exhaustive, "ex")
+}
+
+func TestExhaustiveEnumDefiningPackageClean(t *testing.T) {
+	// The fixture enum package's own String() switches cover every
+	// constant, so the defining package itself is clean.
+	analysistest.Run(t, "testdata", analyzers.Exhaustive, "triplea/internal/enums")
+}

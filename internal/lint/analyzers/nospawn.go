@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"triplea/internal/lint/analysis"
+)
+
+// Nospawn keeps the simulation core single-threaded. The engine is a
+// deterministic discrete-event simulator: one goroutine pops one event
+// at a time off one heap, and every result table is reproducible
+// because of it. A `go` statement, a channel operation, or a
+// sync/sync.atomic primitive inside a simulation package introduces
+// scheduling nondeterminism the rest of the suite cannot see — the
+// race detector proves absence of data races, not absence of
+// order-dependent results.
+//
+// Banned inside the simulation packages (internal/simx, nand, fimm,
+// cluster, pcie, ftl, array, core): go statements, channel sends,
+// receives, selects, ranging over a channel, make(chan) and close, and
+// importing sync or sync/atomic. The CLI and reporting layer is
+// outside the scope and free to use concurrency. Test files are
+// exempt (driving a simulation from a test's timeout goroutine is
+// fine). An audited escape is silenced with //simlint:nospawn.
+var Nospawn = &analysis.Analyzer{
+	Name: "nospawn",
+	Doc:  "ban goroutines, channels, and sync primitives inside the deterministic simulation packages",
+	Run:  runNospawn,
+}
+
+func runNospawn(pass *analysis.Pass) (any, error) {
+	if !isSimPackage(pass.Pkg) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				if !suppressed(pass, imp.Pos(), "nospawn") {
+					pass.Reportf(imp.Pos(),
+						"import of %s in simulation package %s: the DES core is single-threaded; state is owned by the event loop",
+						path, pass.Pkg.Name())
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				reportNospawn(pass, n.Pos(), "go statement")
+			case *ast.SelectStmt:
+				reportNospawn(pass, n.Pos(), "select statement")
+			case *ast.SendStmt:
+				reportNospawn(pass, n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					reportNospawn(pass, n.Pos(), "channel receive")
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						reportNospawn(pass, n.Pos(), "range over a channel")
+					}
+				}
+			case *ast.CallExpr:
+				checkNospawnCall(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkNospawnCall flags make(chan ...) and close(ch).
+func checkNospawnCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		if len(call.Args) >= 1 {
+			if t := info.TypeOf(call.Args[0]); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					reportNospawn(pass, call.Pos(), "make of a channel")
+				}
+			}
+		}
+	case "close":
+		if len(call.Args) == 1 {
+			if t := info.TypeOf(call.Args[0]); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					reportNospawn(pass, call.Pos(), "close of a channel")
+				}
+			}
+		}
+	}
+}
+
+func reportNospawn(pass *analysis.Pass, pos token.Pos, what string) {
+	if suppressed(pass, pos, "nospawn") {
+		return
+	}
+	pass.Reportf(pos,
+		"%s in a simulation package breaks the single-threaded deterministic event loop; schedule work on the simx engine instead",
+		what)
+}

@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestNospawn(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Nospawn, "triplea/internal/fimm")
+}
+
+func TestNospawnExemptOutsideSimPackages(t *testing.T) {
+	// The reporting/CLI layer is free to use concurrency; a package
+	// off the simulation-core path produces no findings.
+	analysistest.Run(t, "testdata", analyzers.Nospawn, "other")
+}

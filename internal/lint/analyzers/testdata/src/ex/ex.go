@@ -1,0 +1,101 @@
+// Package ex exercises the exhaustive analyzer: switches over
+// simulator enums must cover every declared constant or carry an
+// audited //simlint:partial default.
+package ex
+
+import "triplea/internal/enums"
+
+func covered(op enums.Op) string {
+	switch op {
+	case enums.OpRead:
+		return "r"
+	case enums.OpWrite:
+		return "w"
+	case enums.OpErase:
+		return "e"
+	}
+	return "?"
+}
+
+func coveredWithDefault(op enums.Op) string {
+	switch op { // a default alongside full coverage is fine
+	case enums.OpRead, enums.OpWrite:
+		return "io"
+	case enums.OpErase:
+		return "e"
+	default:
+		return "?"
+	}
+}
+
+func missingNoDefault(op enums.Op) {
+	switch op { // want `switch over enums\.Op does not cover OpErase and has no default`
+	case enums.OpRead:
+	case enums.OpWrite:
+	}
+}
+
+func missingWithDefault(op enums.Op) {
+	switch op { // want `switch over enums\.Op does not cover OpWrite, OpErase; add the cases or audit the default`
+	case enums.OpRead:
+	default:
+	}
+}
+
+func auditedPartial(op enums.Op) {
+	switch op {
+	case enums.OpRead:
+	//simlint:partial audited: every non-read op is billed as background work
+	default:
+	}
+}
+
+func aliasCountsAsValue(op enums.Op) {
+	switch op { // OpDefault == OpRead, so all three values are covered
+	case enums.OpDefault, enums.OpWrite, enums.OpErase:
+	}
+}
+
+func stringMethod(s enums.State) string {
+	switch s { // want `switch over enums\.State does not cover StateDead`
+	case enums.StateFree:
+		return "free"
+	case enums.StateBusy:
+		return "busy"
+	}
+	return "unknown"
+}
+
+func comparisonNotEnumeration(op, other enums.Op) {
+	switch op { // a non-constant case is a comparison; not policed
+	case other:
+	case enums.OpRead:
+	}
+}
+
+// local is declared outside an internal/ package path scope? No — this
+// package is plain "ex", so local enums here are out of scope.
+type local int
+
+const (
+	localA local = iota
+	localB
+)
+
+func localEnum(l local) {
+	switch l { // not an internal/ package: not policed
+	case localA:
+	}
+}
+
+func notAnEnum(n enums.Lone) {
+	switch n { // single constant: not an enum
+	case enums.OnlyLone:
+	}
+}
+
+func tagless(op enums.Op) {
+	switch { // tagless switches are not enumerations
+	case op == enums.OpRead:
+	}
+}

@@ -1,0 +1,14 @@
+// Package sync is a miniature stand-in for the standard library's
+// sync, just enough surface for the nospawn fixtures to type-check.
+package sync
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock()   { m.locked = true }
+func (m *Mutex) Unlock() { m.locked = false }
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) { wg.n += delta }
+func (wg *WaitGroup) Done()         { wg.n-- }
+func (wg *WaitGroup) Wait()         {}

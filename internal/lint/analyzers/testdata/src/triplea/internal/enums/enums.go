@@ -1,0 +1,45 @@
+// Package enums defines fixture enum types for the exhaustive
+// analyzer: named integer types in an internal/ package with two or
+// more declared constants.
+package enums
+
+// Op mirrors the shape of the simulator's op enums.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpErase
+)
+
+// OpDefault aliases an existing value; exhaustiveness counts values,
+// not names, so covering OpRead covers it.
+const OpDefault = OpRead
+
+// State has a String method implemented as a switch, the idiom the
+// analyzer is meant to police.
+type State int
+
+const (
+	StateFree State = iota
+	StateBusy
+	StateDead
+)
+
+// String covers every constant, so it is exhaustive without a default.
+func (s State) String() string {
+	switch s {
+	case StateFree:
+		return "free"
+	case StateBusy:
+		return "busy"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Lone has a single constant: not an enum, never policed.
+type Lone int
+
+const OnlyLone Lone = 0

@@ -1,0 +1,36 @@
+// Package fimm (fixture) sits on a simulation-core import path, where
+// nospawn bans goroutines, channels, and sync primitives.
+package fimm
+
+import (
+	"sync" // want `import of sync in simulation package fimm`
+
+	"triplea/internal/simx"
+)
+
+var mu sync.Mutex
+
+func spawn(eng *simx.Engine, fn func()) {
+	go fn() // want `go statement in a simulation package breaks the single-threaded deterministic event loop`
+	eng.Schedule(simx.Microsecond, fn)
+}
+
+func channels(done chan int) {
+	ch := make(chan int, 4) // want `make of a channel in a simulation package`
+	ch <- 1                 // want `channel send in a simulation package`
+	<-ch                    // want `channel receive in a simulation package`
+	select {                // want `select statement in a simulation package`
+	case v := <-done: // want `channel receive in a simulation package`
+		_ = v
+	default:
+	}
+	for range done { // want `range over a channel in a simulation package`
+		break
+	}
+	close(done) // want `close of a channel in a simulation package`
+}
+
+func audited(stop chan struct{}) {
+	//simlint:nospawn audited: external cancellation probe, never in the event loop
+	close(stop)
+}

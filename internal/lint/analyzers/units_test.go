@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Units, "un")
+}
+
+func TestUnitsExemptInDefiningPackage(t *testing.T) {
+	// The fake units package converts freely — it implements the
+	// audited helpers — and must produce no findings.
+	analysistest.Run(t, "testdata", analyzers.Units, "triplea/internal/units")
+}

@@ -165,5 +165,8 @@ func All() []*analysis.Analyzer {
 		Maporder,
 		Floateq,
 		Simtime,
+		Units,
+		Exhaustive,
+		Nospawn,
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // Breakdown decomposes one request's life, or sums many requests'.
@@ -126,17 +127,20 @@ const (
 )
 
 func (k RequestKind) String() string {
-	if k == Read {
+	switch k {
+	case Read:
 		return "read"
+	case Write:
+		return "write"
 	}
-	return "write"
+	return "unknown"
 }
 
 // Record is one completed request's measurement.
 type Record struct {
 	ID       uint64
 	Kind     RequestKind
-	Pages    int
+	Pages    units.Pages
 	Submit   simx.Time
 	Complete simx.Time
 	Breakdown

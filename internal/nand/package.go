@@ -31,6 +31,18 @@ const (
 	PageStale                   // programmed, data superseded (GC fodder)
 )
 
+func (s PageState) String() string {
+	switch s {
+	case PageErased:
+		return "erased"
+	case PageValid:
+		return "valid"
+	case PageStale:
+		return "stale"
+	}
+	return "unknown"
+}
+
 // blockState is allocated lazily: a 16 TB array has billions of pages
 // and only the touched blocks may cost host memory.
 type blockState struct {
@@ -149,9 +161,9 @@ func (pk *Package) checkAddr(a Addr) error {
 		return fmt.Errorf("nand: die %d out of range [0,%d)", a.Die, p.DiesPerPackage)
 	case a.Plane < 0 || a.Plane >= p.PlanesPerDie:
 		return fmt.Errorf("nand: plane %d out of range [0,%d)", a.Plane, p.PlanesPerDie)
-	case a.Block < 0 || a.Block >= p.BlocksPerPlane*p.PlanesPerDie:
-		return fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, p.BlocksPerPlane*p.PlanesPerDie)
-	case a.Page < 0 || a.Page >= p.PagesPerBlock:
+	case a.Block < 0 || a.Block >= p.BlocksPerPlane.Int()*p.PlanesPerDie:
+		return fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, p.BlocksPerPlane.Int()*p.PlanesPerDie)
+	case a.Page < 0 || a.Page >= p.PagesPerBlock.Int():
 		return fmt.Errorf("nand: page %d out of range [0,%d)", a.Page, p.PagesPerBlock)
 	case a.Plane != a.Block%p.PlanesPerDie:
 		return fmt.Errorf("nand: block %d addresses plane %d, not plane %d (even/odd rule)",
@@ -162,11 +174,11 @@ func (pk *Package) checkAddr(a Addr) error {
 
 func (pk *Package) flatBlock(a Addr) int {
 	p := pk.params
-	return a.Die*p.PlanesPerDie*p.BlocksPerPlane + a.Block
+	return a.Die*p.PlanesPerDie*p.BlocksPerPlane.Int() + a.Block
 }
 
 func (pk *Package) flatPage(a Addr) int64 {
-	return int64(pk.flatBlock(a))*int64(pk.params.PagesPerBlock) + int64(a.Page)
+	return int64(pk.flatBlock(a))*pk.params.PagesPerBlock.Int64() + int64(a.Page)
 }
 
 func (pk *Package) block(a Addr) *blockState {
@@ -361,6 +373,9 @@ func (pk *Package) checkState(op Op, addrs []Addr) error {
 				return fmt.Errorf("nand: read of erased page %v", a)
 			}
 		}
+	case OpErase:
+		// No state precondition: erasing an erased or partly programmed
+		// block is legal NAND behaviour.
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 func testParams() Params {
@@ -47,7 +48,7 @@ func TestParamsValidation(t *testing.T) {
 func TestCapacityMath(t *testing.T) {
 	p := DefaultParams()
 	// 4096 B * 256 pages * 2048 blocks * 2 planes * 2 dies = 8 GiB
-	want := int64(4096) * 256 * 2048 * 2 * 2
+	want := units.Bytes(4096) * 256 * 2048 * 2 * 2
 	if got := p.BytesPerPackage(); got != want {
 		t.Errorf("BytesPerPackage = %d, want %d", got, want)
 	}
@@ -333,7 +334,7 @@ func TestPropertyProgramEraseCycles(t *testing.T) {
 		pk := NewPackage(eng, p)
 		next := 0
 		for _, doErase := range ops {
-			if doErase || next >= p.PagesPerBlock {
+			if doErase || next >= p.PagesPerBlock.Int() {
 				pk.Erase([]Addr{{}}, func(_ simx.Time, err error) {
 					if err != nil {
 						t.Fatalf("erase: %v", err)
@@ -352,7 +353,7 @@ func TestPropertyProgramEraseCycles(t *testing.T) {
 			eng.Run()
 			// Count programmed pages in block 0.
 			got := 0
-			for pg := 0; pg < p.PagesPerBlock; pg++ {
+			for pg := 0; pg < p.PagesPerBlock.Int(); pg++ {
 				if pk.PageStateAt(Addr{Page: pg}) != PageErased {
 					got++
 				}

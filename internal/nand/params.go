@@ -15,16 +15,17 @@ import (
 	"fmt"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // Params describes the geometry and timing of one flash package.
 type Params struct {
 	// Geometry.
-	PageSizeBytes  int // main-area bytes per page (typically 4096)
-	PagesPerBlock  int // pages per erase block
-	BlocksPerPlane int // erase blocks per plane
-	PlanesPerDie   int // planes per die (even/odd block addressing)
-	DiesPerPackage int // independently operating dies
+	PageSizeBytes  units.Bytes  // main-area bytes per page (typically 4 KiB)
+	PagesPerBlock  units.Pages  // pages per erase block
+	BlocksPerPlane units.Blocks // erase blocks per plane
+	PlanesPerDie   int          // planes per die (even/odd block addressing)
+	DiesPerPackage int          // independently operating dies
 
 	// Cell timing.
 	TRead  simx.Time // tR: array -> data register
@@ -36,10 +37,10 @@ type Params struct {
 	TECCPerPage  simx.Time // ECC encode/decode per page
 
 	// I/O interface of this package (ONFI NV-DDR2).
-	IOPins  int  // data pins (x8 or x16)
-	BusMHz  int  // interface clock in MHz
-	DDR     bool // double data rate
-	CacheOK bool // cache-mode commands supported
+	IOPins  units.Lanes // data pins (x8 or x16)
+	BusMHz  int         // interface clock in MHz
+	DDR     bool        // double data rate
+	CacheOK bool        // cache-mode commands supported
 }
 
 // DefaultParams returns the 2013-era MLC package used throughout the
@@ -47,9 +48,9 @@ type Params struct {
 // workloads issue), 2 dies x 2 planes, ONFI 3.x NV-DDR2 at 400 MHz.
 func DefaultParams() Params {
 	return Params{
-		PageSizeBytes:  4096,
-		PagesPerBlock:  256,
-		BlocksPerPlane: 2048,
+		PageSizeBytes:  4 * units.KiB,
+		PagesPerBlock:  256 * units.Page,
+		BlocksPerPlane: 2048 * units.Block,
 		PlanesPerDie:   2,
 		DiesPerPackage: 2,
 		TRead:          50 * simx.Microsecond,
@@ -57,7 +58,7 @@ func DefaultParams() Params {
 		TErase:         3 * simx.Millisecond,
 		TCmdOverhead:   300 * simx.Nanosecond,
 		TECCPerPage:    2 * simx.Microsecond,
-		IOPins:         8,
+		IOPins:         8 * units.Lane,
 		BusMHz:         400,
 		DDR:            true,
 		CacheOK:        true,
@@ -79,7 +80,7 @@ func (p Params) Validate() error {
 		return fmt.Errorf("nand: DiesPerPackage %d must be positive", p.DiesPerPackage)
 	case p.TRead <= 0 || p.TProg <= 0 || p.TErase <= 0:
 		return fmt.Errorf("nand: cell timings must be positive")
-	case p.IOPins != 8 && p.IOPins != 16:
+	case p.IOPins != 8*units.Lane && p.IOPins != 16*units.Lane:
 		return fmt.Errorf("nand: IOPins %d must be 8 or 16 (ONFI)", p.IOPins)
 	case p.BusMHz <= 0:
 		return fmt.Errorf("nand: BusMHz %d must be positive", p.BusMHz)
@@ -88,32 +89,26 @@ func (p Params) Validate() error {
 }
 
 // PagesPerPackage reports the total page count of one package.
-func (p Params) PagesPerPackage() int64 {
-	return int64(p.PagesPerBlock) * int64(p.BlocksPerPlane) *
-		int64(p.PlanesPerDie) * int64(p.DiesPerPackage)
+func (p Params) PagesPerPackage() units.Pages {
+	return units.BlocksToPages(p.BlocksPerPlane, p.PagesPerBlock) *
+		units.Pages(p.PlanesPerDie) * units.Pages(p.DiesPerPackage)
 }
 
 // BytesPerPackage reports the package capacity in bytes.
-func (p Params) BytesPerPackage() int64 {
-	return p.PagesPerPackage() * int64(p.PageSizeBytes)
+func (p Params) BytesPerPackage() units.Bytes {
+	return units.PagesToBytes(p.PagesPerPackage(), p.PageSizeBytes)
 }
 
 // InterfaceBytesPerSec reports the raw bandwidth of the package's I/O
 // interface: pins/8 bytes per transfer at BusMHz (doubled under DDR).
-func (p Params) InterfaceBytesPerSec() int64 {
-	mt := int64(p.BusMHz) * 1_000_000
-	if p.DDR {
-		mt *= 2
-	}
-	return mt * int64(p.IOPins) / 8
+func (p Params) InterfaceBytesPerSec() units.BytesPerSec {
+	return units.BusBandwidth(p.IOPins, p.BusMHz, p.DDR)
 }
 
 // TransferTime reports the time to move n bytes across the package
 // interface, rounded up to whole nanoseconds.
-func (p Params) TransferTime(n int) simx.Time {
-	bps := p.InterfaceBytesPerSec()
-	ns := (int64(n)*1_000_000_000 + bps - 1) / bps
-	return simx.Time(ns)
+func (p Params) TransferTime(n units.Bytes) simx.Time {
+	return units.TransferTime(n, p.InterfaceBytesPerSec())
 }
 
 // PageTransferTime is TransferTime for one full page — the per-page tDMA

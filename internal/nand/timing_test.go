@@ -1,6 +1,10 @@
 package nand
 
-import "testing"
+import (
+	"testing"
+
+	"triplea/internal/units"
+)
 
 func TestTimingModeStrings(t *testing.T) {
 	cases := map[TimingMode]string{
@@ -38,7 +42,7 @@ func TestWithTimingMode(t *testing.T) {
 		t.Errorf("sdr-0 bandwidth = %d", p0.InterfaceBytesPerSec())
 	}
 	// Faster modes strictly increase bandwidth.
-	prev := int64(0)
+	prev := units.BytesPerSec(0)
 	for _, m := range []TimingMode{SDRMode0, SDRMode1, SDRMode2, SDRMode3,
 		SDRMode4, SDRMode5, NVDDRMode5, NVDDR2Mode7} {
 		p, err := base.WithTimingMode(m)

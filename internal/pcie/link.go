@@ -4,12 +4,23 @@ import (
 	"fmt"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // TLPOverheadBytes is the per-packet framing cost: transaction-layer
 // header (16), sequence number + LCRC (8) — the fields the endpoint's
 // device layers strip and rebuild.
-const TLPOverheadBytes = 24
+const TLPOverheadBytes = 24 * units.Byte
+
+// Gen3LaneBandwidth is the effective data rate of one PCI Express 3.0
+// lane: 8 GT/s with 128b/130b encoding, ~1 GB/s of TLP bytes.
+const Gen3LaneBandwidth = 1 * units.GBps
+
+// Gen3Bandwidth reports the raw bandwidth of a PCI-E 3.0 link n lanes
+// wide (x4, x16, ...).
+func Gen3Bandwidth(n units.Lanes) units.BytesPerSec {
+	return units.LaneBandwidth(Gen3LaneBandwidth, n)
+}
 
 // Receiver consumes packets delivered by a Link. Implementations must
 // eventually call from.ReturnCredit() once the packet's buffer entry is
@@ -27,7 +38,7 @@ type Link struct {
 	eng  *simx.Engine
 	name string
 
-	bytesPerSec int64
+	bytesPerSec units.BytesPerSec
 	propagation simx.Time
 
 	wire    *simx.Resource
@@ -39,7 +50,7 @@ type Link struct {
 
 	// Statistics.
 	packets     uint64
-	bytes       int64
+	bytes       units.Bytes
 	creditStall simx.Time
 	maxSendQ    int
 }
@@ -52,7 +63,7 @@ type pendingSend struct {
 
 // NewLink builds a link delivering to dst with the given raw bandwidth,
 // propagation delay and receiver credit count.
-func NewLink(eng *simx.Engine, name string, bytesPerSec int64, propagation simx.Time, credits int, dst Receiver) *Link {
+func NewLink(eng *simx.Engine, name string, bytesPerSec units.BytesPerSec, propagation simx.Time, credits int, dst Receiver) *Link {
 	if bytesPerSec <= 0 {
 		panic(fmt.Sprintf("pcie: link %s bandwidth must be positive", name))
 	}
@@ -79,9 +90,8 @@ func (l *Link) Name() string { return l.name }
 
 // TransferTime reports serialisation time for a packet with n payload
 // bytes (TLP overhead included), rounded up to whole nanoseconds.
-func (l *Link) TransferTime(n int) simx.Time {
-	total := int64(n + TLPOverheadBytes)
-	return simx.Time((total*1_000_000_000 + l.bytesPerSec - 1) / l.bytesPerSec)
+func (l *Link) TransferTime(n units.Bytes) simx.Time {
+	return units.TransferTime(n+TLPOverheadBytes, l.bytesPerSec)
 }
 
 // Send transmits pkt toward the receiver. accepted (optional) fires when
@@ -134,7 +144,7 @@ func (l *Link) transmit(ps *pendingSend) {
 			l.wire.Release()
 			ps.pkt.WireTime += xfer
 			l.packets++
-			l.bytes += int64(ps.pkt.Payload + TLPOverheadBytes)
+			l.bytes += ps.pkt.Payload + TLPOverheadBytes
 			l.eng.Schedule(l.propagation, func() {
 				l.dst.Receive(ps.pkt, l)
 			})
@@ -152,7 +162,7 @@ func (l *Link) PendingSends() int { return len(l.sendQ) }
 func (l *Link) Packets() uint64 { return l.packets }
 
 // Bytes reports total bytes serialised (overhead included).
-func (l *Link) Bytes() int64 { return l.bytes }
+func (l *Link) Bytes() units.Bytes { return l.bytes }
 
 // CreditStallNS reports accumulated credit-stall time.
 func (l *Link) CreditStallNS() simx.Time { return l.creditStall }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // Kind classifies a transaction-layer packet.
@@ -41,9 +42,9 @@ func (k Kind) String() string {
 type Packet struct {
 	ID      uint64
 	Kind    Kind
-	Addr    uint64 // routing address
-	Payload int    // payload bytes (0 for requests / dataless completions)
-	Meta    any    // opaque cargo for the endpoint/array layers
+	Addr    uint64      // routing address
+	Payload units.Bytes // payload size (0 for requests / dataless completions)
+	Meta    any         // opaque cargo for the endpoint/array layers
 
 	// Accumulated timing across all hops.
 	CreditWait simx.Time // stalled waiting for receiver VC credit

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // sink collects delivered packets and returns credits either
@@ -48,6 +49,33 @@ func TestTransferTime(t *testing.T) {
 	l2 := NewLink(eng, "l2", 3_000_000_000, 0, 1, &sink{autoACK: true})
 	if got := l2.TransferTime(0); got != 8 {
 		t.Errorf("TransferTime(0) at 3GB/s = %v, want ceil(24/3)=8", got)
+	}
+}
+
+// TestGen3PagePayloadRegression pins the representative converted path
+// of the typed-units refactor: a page-sized payload expressed in
+// units.Bytes through the Gen3 lane-bandwidth helper to a wire time.
+// Before the refactor the payload and bandwidth were bare ints and a
+// pages-for-bytes mixup compiled silently; these exact figures are the
+// regression net.
+func TestGen3PagePayloadRegression(t *testing.T) {
+	if got := Gen3Bandwidth(4 * units.Lane); got != 4_000_000_000 {
+		t.Fatalf("Gen3Bandwidth(x4) = %d, want 4e9", got)
+	}
+	if got := Gen3Bandwidth(16 * units.Lane); got != 16_000_000_000 {
+		t.Fatalf("Gen3Bandwidth(x16) = %d, want 16e9", got)
+	}
+	eng := simx.NewEngine()
+	l := NewLink(eng, "ep", Gen3Bandwidth(4*units.Lane), 0, 1, &sink{autoACK: true})
+	// One 4 KiB page + 24 B TLP overhead at 4 B/ns: ceil(4120/4) = 1030 ns.
+	if got := l.TransferTime(4 * units.KiB); got != 1030*simx.Nanosecond {
+		t.Errorf("x4 page transfer = %v, want 1030ns", got)
+	}
+	// The same page handed to the ONFI side (800 MB/s NV-DDR2) takes
+	// 5120 ns — the value nand.Params.PageTransferTime produces; a
+	// bytes/pages confusion on either leg breaks one of the two pins.
+	if got := units.TransferTime(4*units.KiB, 800_000_000); got != 5120*simx.Nanosecond {
+		t.Errorf("ONFI page transfer = %v, want 5120ns", got)
 	}
 }
 
@@ -325,8 +353,8 @@ func TestPropertyLinkConservation(t *testing.T) {
 		l := NewLink(eng, "l", 1_000_000_000, 10, 1, dst)
 		var wantWire simx.Time
 		for i, sz := range sizes {
-			p := &Packet{ID: uint64(i), Payload: int(sz)}
-			wantWire += l.TransferTime(int(sz))
+			p := &Packet{ID: uint64(i), Payload: units.Bytes(sz)}
+			wantWire += l.TransferTime(units.Bytes(sz))
 			l.Send(p, nil)
 		}
 		eng.Run()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"triplea/internal/nand"
+	"triplea/internal/units"
 )
 
 // Geometry describes the array topology and the flash geometry beneath
@@ -39,7 +40,7 @@ func (g Geometry) Validate() error {
 	if g.Nand.DiesPerPackage > maxDie {
 		return fmt.Errorf("topo: DiesPerPackage %d exceeds %d", g.Nand.DiesPerPackage, maxDie)
 	}
-	if blocks := g.Nand.BlocksPerPlane * g.Nand.PlanesPerDie; blocks > maxBlock {
+	if blocks := g.Nand.BlocksPerPlane.Int() * g.Nand.PlanesPerDie; blocks > maxBlock {
 		return fmt.Errorf("topo: %d blocks per die exceeds %d", blocks, maxBlock)
 	}
 	if g.Nand.PagesPerBlock > maxPage {
@@ -55,18 +56,18 @@ func (g Geometry) TotalClusters() int { return g.Switches * g.ClustersPerSwitch 
 func (g Geometry) TotalFIMMs() int { return g.TotalClusters() * g.FIMMsPerCluster }
 
 // PagesPerFIMM reports the page count of one FIMM.
-func (g Geometry) PagesPerFIMM() int64 {
-	return int64(g.PackagesPerFIMM) * g.Nand.PagesPerPackage()
+func (g Geometry) PagesPerFIMM() units.Pages {
+	return units.Pages(g.PackagesPerFIMM) * g.Nand.PagesPerPackage()
 }
 
 // TotalPages reports the array's page count.
-func (g Geometry) TotalPages() int64 {
-	return int64(g.TotalFIMMs()) * g.PagesPerFIMM()
+func (g Geometry) TotalPages() units.Pages {
+	return units.Pages(g.TotalFIMMs()) * g.PagesPerFIMM()
 }
 
 // TotalBytes reports the array capacity in bytes.
-func (g Geometry) TotalBytes() int64 {
-	return g.TotalPages() * int64(g.Nand.PageSizeBytes)
+func (g Geometry) TotalBytes() units.Bytes {
+	return units.PagesToBytes(g.TotalPages(), g.Nand.PageSizeBytes)
 }
 
 // ParallelUnitsPerFIMM reports the independently programmable units of

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"triplea/internal/nand"
+	"triplea/internal/units"
 )
 
 func testGeometry() Geometry {
@@ -43,7 +44,7 @@ func TestGeometryValidate(t *testing.T) {
 func TestGeometryCapacity(t *testing.T) {
 	g := testGeometry()
 	// Paper baseline: 4x16 clusters of 4 x 64 GiB FIMMs = 16 TiB.
-	if got, want := g.TotalBytes(), int64(16)<<40; got != want {
+	if got, want := g.TotalBytes(), 16*1024*units.GiB; got != want {
 		t.Errorf("TotalBytes = %d, want %d (16 TiB)", got, want)
 	}
 	if g.TotalClusters() != 64 || g.TotalFIMMs() != 256 {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // DecodeMSR parses a trace in the MSR Cambridge / SNIA IOTTA block
@@ -21,7 +22,7 @@ import (
 // (pageSize bytes per page, typically 4096): the LPN is the offset's
 // page number and the page count covers [Offset, Offset+Size). The
 // first record's timestamp becomes time zero.
-func DecodeMSR(r io.Reader, pageSize int) ([]Request, error) {
+func DecodeMSR(r io.Reader, pageSize units.Bytes) ([]Request, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("trace: page size %d must be positive", pageSize)
 	}
@@ -62,13 +63,13 @@ func DecodeMSR(r io.Reader, pageSize int) ([]Request, error) {
 		if len(out) == 0 {
 			t0 = ts
 		}
-		firstPage := offset / int64(pageSize)
-		lastPage := (offset + size - 1) / int64(pageSize)
+		firstPage := offset / pageSize.Int64()
+		lastPage := (offset + size - 1) / pageSize.Int64()
 		out = append(out, Request{
 			Arrival: simx.Time((ts - t0) * 100), // filetime ticks -> ns
 			Op:      op,
 			LPN:     firstPage,
-			Pages:   int(lastPage - firstPage + 1),
+			Pages:   units.Pages(lastPage - firstPage + 1),
 		})
 	}
 	if err := sc.Err(); err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 // Op is the request direction.
@@ -24,10 +25,13 @@ const (
 )
 
 func (o Op) String() string {
-	if o == Read {
+	switch o {
+	case Read:
 		return "R"
+	case Write:
+		return "W"
 	}
-	return "W"
+	return "?"
 }
 
 // ParseOp converts "R"/"W" (case-insensitive) to an Op.
@@ -45,8 +49,8 @@ func ParseOp(s string) (Op, error) {
 type Request struct {
 	Arrival simx.Time // submission time
 	Op      Op
-	LPN     int64 // first logical page
-	Pages   int   // page count (>= 1)
+	LPN     int64       // first logical page
+	Pages   units.Pages // page count (>= 1)
 }
 
 // Validate reports whether the request is well-formed.
@@ -109,7 +113,7 @@ func Decode(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: pages: %v", lineNo, err)
 		}
-		req := Request{Arrival: simx.Time(arrival), Op: op, LPN: lpn, Pages: pages}
+		req := Request{Arrival: simx.Time(arrival), Op: op, LPN: lpn, Pages: units.Pages(pages)}
 		if err := req.Validate(); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
 		}
@@ -126,7 +130,7 @@ type Stats struct {
 	Requests   int
 	Reads      int
 	Writes     int
-	Pages      int64
+	Pages      units.Pages
 	DurationNS simx.Time
 }
 
@@ -156,7 +160,7 @@ func Summarize(reqs []Request) Stats {
 		} else {
 			s.Writes++
 		}
-		s.Pages += int64(r.Pages)
+		s.Pages += r.Pages
 		if r.Arrival > s.DurationNS {
 			s.DurationNS = r.Arrival
 		}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"triplea/internal/simx"
+	"triplea/internal/units"
 )
 
 func TestOpStringParse(t *testing.T) {
@@ -142,7 +143,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 				Arrival: simx.Time(r.Arrival),
 				Op:      op,
 				LPN:     int64(r.LPN),
-				Pages:   int(r.Pages%16) + 1,
+				Pages:   units.Pages(r.Pages%16) + 1,
 			})
 		}
 		var buf bytes.Buffer

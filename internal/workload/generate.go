@@ -7,6 +7,7 @@ import (
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
+	"triplea/internal/units"
 )
 
 // HotSet reports which clusters a profile heats for a given geometry.
@@ -96,10 +97,10 @@ func Generate(g topo.Geometry, p Profile, seed uint64) ([]trace.Request, GenStat
 	}
 	pages := p.PagesPer
 	if pages <= 0 {
-		pages = 1
+		pages = units.Page
 	}
 	footprint := p.Footprint
-	pagesPerCluster := g.PagesPerFIMM() * int64(g.FIMMsPerCluster)
+	pagesPerCluster := g.PagesPerFIMM() * units.Pages(g.FIMMsPerCluster)
 	if footprint <= 0 || footprint > pagesPerCluster {
 		footprint = pagesPerCluster
 	}
@@ -107,7 +108,7 @@ func Generate(g topo.Geometry, p Profile, seed uint64) ([]trace.Request, GenStat
 	rng := simx.NewRNG(seed)
 	var zipf *zipfSampler
 	if p.ZipfSkew > 0 {
-		zipf = newZipfSampler(footprint, p.ZipfSkew)
+		zipf = newZipfSampler(footprint.Int64(), p.ZipfSkew)
 	}
 	hot := HotSet(g, p)
 	hotFlats := make(map[int]bool, len(hot))
@@ -171,7 +172,7 @@ func Generate(g topo.Geometry, p Profile, seed uint64) ([]trace.Request, GenStat
 			cur = &cursor{}
 			cursors[flat] = cur
 		}
-		base := int64(flat) * pagesPerCluster
+		base := int64(flat) * pagesPerCluster.Int64()
 		var off int64
 		randomness := p.WriteRandomness
 		if isRead {
@@ -182,17 +183,17 @@ func Generate(g topo.Geometry, p Profile, seed uint64) ([]trace.Request, GenStat
 			if zipf != nil {
 				off = zipf.draw(rng)
 			} else {
-				off = rng.Int63n(footprint)
+				off = rng.Int63n(footprint.Int64())
 			}
 		} else if isRead {
-			off = cur.read % footprint
-			cur.read += int64(pages)
+			off = cur.read % footprint.Int64()
+			cur.read += pages.Int64()
 		} else {
-			off = cur.write % footprint
-			cur.write += int64(pages)
+			off = cur.write % footprint.Int64()
+			cur.write += pages.Int64()
 		}
-		if off+int64(pages) > footprint {
-			off = footprint - int64(pages)
+		if off+pages.Int64() > footprint.Int64() {
+			off = footprint.Int64() - pages.Int64()
 			if off < 0 {
 				off = 0
 			}

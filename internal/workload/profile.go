@@ -7,6 +7,8 @@
 // contention depend on.
 package workload
 
+import "triplea/internal/units"
+
 // Profile describes one workload's published characteristics plus the
 // generation parameters needed to synthesise it.
 type Profile struct {
@@ -25,10 +27,10 @@ type Profile struct {
 	HotSameSwitch bool
 
 	// Generation parameters.
-	Requests  int     // request count to generate
-	RateIOPS  float64 // mean offered request rate
-	PagesPer  int     // pages per request (paper: 4 KB = 1 page)
-	Footprint int64   // touched pages per cluster (bounds host memory)
+	Requests  int         // request count to generate
+	RateIOPS  float64     // mean offered request rate
+	PagesPer  units.Pages // pages per request (paper: 4 KB = 1 page)
+	Footprint units.Pages // touched pages per cluster (bounds host memory)
 
 	// Burstiness: real traces arrive in bursts, which is what builds
 	// the queues behind the paper's long-tailed CDFs. Arrivals follow
@@ -85,8 +87,8 @@ func Table1Profiles() []Profile {
 			HotIORatio:      hotRatio / 100,
 			Requests:        60_000,
 			RateIOPS:        calibratedRate(hot, hotRatio/100, 0.9),
-			PagesPer:        1,
-			Footprint:       1024,
+			PagesPer:        units.Page,
+			Footprint:       1024 * units.Page,
 			BurstFactor:     3.5,
 			BurstDuty:       0.25,
 			BurstPeriod:     20e6, // 20 ms
@@ -138,8 +140,8 @@ func MicroRead(hotClusters int, requests int, rateIOPS float64) Profile {
 		HotIORatio:     hotRatioFor(hotClusters),
 		Requests:       requests,
 		RateIOPS:       rateIOPS,
-		PagesPer:       1,
-		Footprint:      1024,
+		PagesPer:       units.Page,
+		Footprint:      1024 * units.Page,
 		BurstFactor:    3.5,
 		BurstDuty:      0.25,
 		BurstPeriod:    20e6,

@@ -159,7 +159,7 @@ func TestGenerateHotTraffic(t *testing.T) {
 	for _, c := range stats.HotClusters {
 		hotFlats[c.Flat(g)] = true
 	}
-	pagesPerCluster := g.PagesPerFIMM() * int64(g.FIMMsPerCluster)
+	pagesPerCluster := g.PagesPerFIMM().Int64() * int64(g.FIMMsPerCluster)
 	hot := 0
 	for _, r := range reqs {
 		if hotFlats[int(r.LPN/pagesPerCluster)] {
@@ -180,7 +180,7 @@ func TestGenerateFootprintBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pagesPerCluster := g.PagesPerFIMM() * int64(g.FIMMsPerCluster)
+	pagesPerCluster := g.PagesPerFIMM().Int64() * int64(g.FIMMsPerCluster)
 	for _, r := range reqs {
 		off := r.LPN % pagesPerCluster
 		if off >= 128 {
@@ -250,7 +250,7 @@ func TestZipfSkewConcentratesAccesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pagesPerCluster := g.PagesPerFIMM() * int64(g.FIMMsPerCluster)
+	pagesPerCluster := g.PagesPerFIMM().Int64() * int64(g.FIMMsPerCluster)
 	counts := map[int64]int{}
 	for _, r := range reqs {
 		counts[r.LPN%pagesPerCluster]++
