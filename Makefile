@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list vet check clean
+.PHONY: build test race simcheck lint lint-fix-list vet check clean bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,18 @@ lint-fix-list:
 
 vet:
 	$(GO) vet ./...
+
+# One pass over every figure/table benchmark with allocation stats,
+# serialised to JSON (see docs/performance.md). BENCH_PR3.json is the
+# committed baseline the CI bench smoke job compares against.
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) test . -run '^$$' -bench 'Benchmark(Table|Fig)' -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# Fail if allocs/op regressed >10% against the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json -against $(BENCH_JSON)
 
 check: build vet lint test race simcheck
 

@@ -1,0 +1,187 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON document (ns/op, B/op, allocs/op per benchmark) and compares
+// two such documents for allocation regressions.
+//
+// Usage:
+//
+//	go test . -bench . -benchtime 1x -benchmem | benchjson -o BENCH.json
+//	benchjson -compare BASELINE.json -against NEW.json [-tolerance 0.10]
+//
+// The first form parses benchmark result lines from stdin. The second
+// form exits non-zero if any benchmark present in both files grew its
+// allocs/op by more than the tolerance fraction — the CI gate that
+// keeps the pooled hot path allocation-free.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. Zero-valued metrics
+// were absent from the input line (e.g. no -benchmem).
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Document is the top-level JSON shape.
+type Document struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "output file (default stdout)")
+		compare   = flag.String("compare", "", "baseline JSON file: compare instead of parsing stdin")
+		against   = flag.String("against", "", "candidate JSON file for -compare")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth for -compare")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare, *against, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkName-8   	       1	6151224890 ns/op	764668776 B/op	 3795622 allocs/op
+func parse(sc *bufio.Scanner) (*Document, error) {
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	doc := &Document{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "--- BENCH:" detail lines
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the GOMAXPROCS suffix so documents compare across machines.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	return doc, sc.Err()
+}
+
+func load(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
+// runCompare fails when a benchmark present in both documents grew its
+// allocs/op beyond the tolerance. Benchmarks only in one document are
+// reported but do not fail the gate (experiments come and go).
+func runCompare(basePath, newPath string, tolerance float64) error {
+	if newPath == "" {
+		return fmt.Errorf("-compare requires -against")
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, name := range names {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Printf("benchjson: %s: absent from %s (skipped)\n", name, newPath)
+			continue
+		}
+		if b.AllocsPerOp <= 0 {
+			continue // baseline has no allocation data for this benchmark
+		}
+		growth := (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+		status := "ok"
+		if growth > tolerance {
+			status = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Printf("benchjson: %-32s allocs/op %12.0f -> %12.0f (%+.1f%%) %s\n",
+			name, b.AllocsPerOp, c.AllocsPerOp, growth*100, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("allocs/op regression (> %.0f%%) in: %s",
+			tolerance*100, strings.Join(failed, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package array
+
+import (
+	"testing"
+
+	"triplea/internal/trace"
+)
+
+// TestSteadyStateAllocs is the allocation-regression gate for the
+// pooled hot path: once the event, packet, command, request, and
+// page-ref pools are warm, serving a read request must cost (close to)
+// zero heap allocations. The cap is deliberately loose — it exists to
+// catch a reintroduced per-event closure or per-packet allocation
+// (hundreds of allocs per request), not to fight the allocator over
+// amortised slice growth in the metrics recorder.
+func TestSteadyStateAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.HostDRAMBytes = 0 // no DRAM hits: every read crosses the fabric
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	makeBatch := func() []trace.Request {
+		reqs := make([]trace.Request, batch)
+		for i := range reqs {
+			reqs[i] = trace.Request{Arrival: 0, Op: trace.Read, LPN: int64(i * 4), Pages: 1}
+		}
+		return reqs
+	}
+
+	// Warm the pools (and map the LPNs) before measuring.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Run(makeBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reqs := makeBatch()
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := a.Run(reqs); err != nil {
+			panic(err)
+		}
+	})
+	perRequest := avg / batch
+	t.Logf("steady state: %.1f allocs per %d-request batch (%.2f/request)", avg, batch, perRequest)
+	if perRequest > 2.0 {
+		t.Errorf("steady-state allocations = %.2f per request, want <= 2.0 — "+
+			"a hot-path object stopped being pooled", perRequest)
+	}
+}

@@ -81,6 +81,14 @@ type Array struct {
 
 	// drained fires when in-flight work reaches zero (Run uses it).
 	onIdle func()
+
+	// Steady-state object pools (single-threaded free-lists). Packets
+	// and commands are shared with the endpoints so completions recycle
+	// what the host retires.
+	pktPool pcie.Pool
+	cmdPool cluster.CommandPool
+	freeReq *request
+	freeRef *pageRef
 }
 
 // New builds an array on a fresh engine.
@@ -170,6 +178,7 @@ func (a *Array) build() {
 			epUp := pcie.NewLink(a.eng, fmt.Sprintf("%v.up", id),
 				cfg.EPLinkBytesPerSec, cfg.LinkPropagation, cfg.EPLinkCredits, sw)
 			ep.SetUpstream(epUp)
+			ep.SetPacketPool(&a.pktPool)
 			row = append(row, ep)
 		}
 		a.eps = append(a.eps, row)
@@ -255,7 +264,7 @@ func (a *Array) ensureMapped(lpn int64) error {
 	bk := ppn.BlockKey()
 	a.pendingFlush[ppn] = true
 	a.pendingByBlock[bk]++
-	a.launchProgram(ppn, func() {
+	a.launchProgram(ppn, funcLauncher(func() {
 		if err := a.pkgAt(ppn).ForcePopulate(ppn.NandAddr(a.cfg.Geometry)); err != nil {
 			panic(fmt.Sprintf("array: prepopulate: %v", err))
 		}
@@ -268,7 +277,7 @@ func (a *Array) ensureMapped(lpn int64) error {
 			a.staleDeviceNow(ppn)
 		}
 		a.releaseGate(bk)
-	})
+	}))
 	return nil
 }
 
@@ -279,23 +288,11 @@ func (a *Array) Run(reqs []trace.Request) (*metrics.Recorder, error) {
 		return nil, err
 	}
 	// Schedule arrivals lazily: each arrival schedules the next, so the
-	// event heap stays small for million-request traces.
-	var scheduleNext func(i int)
-	scheduleNext = func(i int) {
-		if i >= len(reqs) {
-			return
-		}
-		r := reqs[i]
-		at := r.Arrival
-		if at < a.eng.Now() {
-			at = a.eng.Now()
-		}
-		a.eng.At(at, func() {
-			a.Submit(r)
-			scheduleNext(i + 1)
-		})
-	}
-	scheduleNext(0)
+	// event heap stays small for million-request traces. The feeder is a
+	// single reusable Handler — one pooled event per arrival, zero
+	// closures.
+	f := &arrivalFeeder{arr: a, reqs: reqs}
+	f.scheduleNext(0)
 	a.eng.Run()
 	if a.inFlight != 0 {
 		return nil, fmt.Errorf("array: %d requests still in flight after drain", a.inFlight)
@@ -303,8 +300,39 @@ func (a *Array) Run(reqs []trace.Request) (*metrics.Recorder, error) {
 	return a.recorder, nil
 }
 
-// request tracks one host request across its page commands.
+// arrivalFeeder injects trace requests one at a time: each arrival
+// event submits request arg and schedules the next. A single feeder
+// instance serves the whole run.
+type arrivalFeeder struct {
+	arr  *Array
+	reqs []trace.Request
+}
+
+// scheduleNext books the arrival event for request i (clamped to now
+// for out-of-order or past timestamps).
+func (f *arrivalFeeder) scheduleNext(i int) {
+	if i >= len(f.reqs) {
+		return
+	}
+	at := f.reqs[i].Arrival
+	if at < f.arr.eng.Now() {
+		at = f.arr.eng.Now()
+	}
+	f.arr.eng.AtEvent(at, f, uint64(i))
+}
+
+// OnEvent implements simx.Handler: request arg arrives.
+func (f *arrivalFeeder) OnEvent(arg uint64) {
+	f.arr.Submit(f.reqs[arg])
+	f.scheduleNext(int(arg) + 1)
+}
+
+// request tracks one host request across its page commands. Requests
+// are pooled; the node recycles when its last page completes. The
+// simx.Handler implementation serves the host-DRAM-hit path: each hit
+// page schedules one event that retires it after the hit latency.
 type request struct {
+	arr      *Array
 	id       uint64
 	op       trace.Op
 	lpn      int64
@@ -313,16 +341,85 @@ type request struct {
 	remain   units.Pages
 	agg      metrics.Breakdown
 	maxAdmit simx.Time // latest page admission (RC stall reference)
+	next     *request  // free-list link
+	ck       simx.PoolCheck
 }
 
-// pageRef links a page command back to its request and downstream packet.
+// OnEvent implements simx.Handler: a host-DRAM cache hit completes.
+func (req *request) OnEvent(arg uint64) {
+	req.arr.finishPage(req, metrics.Breakdown{})
+}
+
+// pageRef links a page command back to its request and downstream
+// packet. Refs are pooled per-page continuations: they queue for an RC
+// slot (simx.Grantee), launch through the per-block program gate
+// (launcher), and observe their packet's RC acceptance (pcie.Accepted).
 type pageRef struct {
+	arr          *Array
 	req          *request
 	lpn          int64
 	down         *pcie.Packet
 	rcInjectWait simx.Time
 	admitWait    simx.Time
 	retries      int
+	next         *pageRef // free-list link
+	ck           simx.PoolCheck
+}
+
+// OnGrant implements simx.Grantee: an RC queue entry is ours; waiting
+// for it is the RC stall of Figure 15.
+func (ref *pageRef) OnGrant(arg uint64, waited simx.Time) {
+	ref.admitWait = waited
+	ref.arr.admitPage(ref)
+}
+
+// launch implements launcher: inject the page's packet at the RC.
+func (ref *pageRef) launch() {
+	ref.arr.rc.Inject(ref.down, ref)
+}
+
+// OnLinkAccepted implements pcie.Accepted: the packet left the RC's
+// internal queue; snapshot the RC-side queueing it accumulated.
+func (ref *pageRef) OnLinkAccepted(pkt *pcie.Packet) {
+	ref.rcInjectWait = pkt.QueueWait
+}
+
+func (a *Array) newReq() *request {
+	r := a.freeReq
+	if r != nil {
+		a.freeReq = r.next
+		r.ck.Checkout("array.request")
+		*r = request{arr: a}
+	} else {
+		r = &request{arr: a}
+	}
+	return r
+}
+
+func (a *Array) recycleReq(r *request) {
+	r.ck.Release("array.request")
+	r.next = a.freeReq
+	a.freeReq = r
+}
+
+func (a *Array) newRef(req *request, lpn int64) *pageRef {
+	ref := a.freeRef
+	if ref != nil {
+		a.freeRef = ref.next
+		ref.ck.Checkout("array.pageRef")
+		*ref = pageRef{arr: a}
+	} else {
+		ref = &pageRef{arr: a}
+	}
+	ref.req, ref.lpn = req, lpn
+	return ref
+}
+
+func (a *Array) recycleRef(ref *pageRef) {
+	ref.req, ref.down = nil, nil
+	ref.ck.Release("array.pageRef")
+	ref.next = a.freeRef
+	a.freeRef = ref
 }
 
 // maxReadRetries bounds GC-race re-resolution; more than a couple in a
@@ -337,20 +434,15 @@ func (a *Array) retryRead(ref *pageRef) {
 		panic(fmt.Sprintf("array: raced read of LPN %d lost its mapping", ref.lpn))
 	}
 	a.readRetries++
-	cmd := &cluster.Command{
-		Op:        cluster.OpRead,
-		FIMM:      ppn.FIMMSlot(),
-		Pkg:       ppn.Pkg(),
-		Addrs:     []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
-		BufferHit: a.pendingFlush[ppn],
-		Meta:      ref,
-	}
-	pkt := &pcie.Packet{
-		ID:   ref.req.id,
-		Kind: pcie.MemRead,
-		Addr: routeAddr(ppn.ClusterID()),
-		Meta: cmd,
-	}
+	cmd := a.cmdPool.Get()
+	cmd.Op = cluster.OpRead
+	cmd.FIMM, cmd.Pkg = ppn.FIMMSlot(), ppn.Pkg()
+	cmd.SetPageAddr(ppn.NandAddr(a.cfg.Geometry))
+	cmd.BufferHit = a.pendingFlush[ppn]
+	cmd.Meta = ref
+	pkt := a.pktPool.Get()
+	pkt.ID, pkt.Kind, pkt.Addr = ref.req.id, pcie.MemRead, routeAddr(ppn.ClusterID())
+	pkt.Meta = cmd
 	ref.down = pkt
 	a.rc.Inject(pkt, nil)
 }
@@ -361,23 +453,18 @@ func (a *Array) Submit(r trace.Request) {
 		panic(err)
 	}
 	a.nextReqID++
-	req := &request{
-		id:     a.nextReqID,
-		op:     r.Op,
-		lpn:    r.LPN,
-		pages:  r.Pages,
-		submit: a.eng.Now(),
-		remain: r.Pages,
-	}
+	req := a.newReq()
+	req.id = a.nextReqID
+	req.op, req.lpn, req.pages = r.Op, r.LPN, r.Pages
+	req.submit = a.eng.Now()
+	req.remain = r.Pages
 	a.inFlight++
 	for p := int64(0); p < r.Pages.Int64(); p++ {
 		lpn := r.LPN + p
 		if r.Op == trace.Read && a.cache.lookup(lpn) {
 			// Relocated host DRAM hit (Section 6.6): served at the
 			// management module, never entering the flash array network.
-			a.eng.Schedule(hostDRAMHitLatency, func() {
-				a.finishPage(req, metrics.Breakdown{})
-			})
+			a.eng.ScheduleEvent(hostDRAMHitLatency, req, 0)
 			continue
 		}
 		if r.Op == trace.Write {
@@ -385,15 +472,14 @@ func (a *Array) Submit(r trace.Request) {
 		}
 		// One RC queue entry per page command; waiting for an entry is
 		// the RC stall of Figure 15.
-		a.rcSlots.Acquire(func(waited simx.Time) {
-			a.admitPage(req, lpn, waited)
-		})
+		a.rcSlots.AcquireG(a.newRef(req, lpn), 0)
 	}
 }
 
 // admitPage resolves the page's physical location and injects its
-// packet at the root complex.
-func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
+// packet at the root complex. The ref's admitWait is already set.
+func (a *Array) admitPage(ref *pageRef) {
+	req, lpn := ref.req, ref.lpn
 	var ppn topo.PPN
 	var kind pcie.Kind
 	var payload units.Bytes
@@ -431,35 +517,23 @@ func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
 		payload = a.cfg.Geometry.Nand.PageSizeBytes
 	}
 
-	ref := &pageRef{req: req, lpn: lpn, admitWait: admitWait}
-	cmd := &cluster.Command{
-		Op:        op,
-		FIMM:      ppn.FIMMSlot(),
-		Pkg:       ppn.Pkg(),
-		Addrs:     []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
-		BufferHit: bufferHit,
-		Meta:      ref,
-	}
+	cmd := a.cmdPool.Get()
+	cmd.Op = op
+	cmd.FIMM, cmd.Pkg = ppn.FIMMSlot(), ppn.Pkg()
+	cmd.SetPageAddr(ppn.NandAddr(a.cfg.Geometry))
+	cmd.BufferHit = bufferHit
+	cmd.Meta = ref
 	if op == cluster.OpWrite {
 		a.trackFlush(ppn, cmd)
 	}
-	pkt := &pcie.Packet{
-		ID:      req.id,
-		Kind:    kind,
-		Addr:    routeAddr(ppn.ClusterID()),
-		Payload: payload,
-		Meta:    cmd,
-	}
+	pkt := a.pktPool.Get()
+	pkt.ID, pkt.Kind, pkt.Addr, pkt.Payload = req.id, kind, routeAddr(ppn.ClusterID()), payload
+	pkt.Meta = cmd
 	ref.down = pkt
-	inject := func() {
-		a.rc.Inject(pkt, func() {
-			ref.rcInjectWait = pkt.QueueWait
-		})
-	}
 	if op == cluster.OpWrite {
-		a.launchProgram(ppn, inject)
+		a.launchProgram(ppn, ref)
 	} else {
-		inject()
+		ref.launch()
 	}
 
 	// Kick background GC if this write pressured its FIMM.
@@ -468,16 +542,29 @@ func (a *Array) admitPage(req *request, lpn int64, admitWait simx.Time) {
 	}
 }
 
+// launcher starts a gated page program (hands the command to its
+// transport). The hot host-write path implements it on the pooled
+// pageRef; cold paths adapt closures with funcLauncher.
+type launcher interface {
+	launch()
+}
+
+// funcLauncher adapts a closure to launcher for cold paths (setup,
+// GC, migration). The conversion allocates.
+type funcLauncher func()
+
+func (f funcLauncher) launch() { f() }
+
 // blockGate serialises program launches into one erase block.
 type blockGate struct {
 	busy    bool
-	waiting []func()
+	waiting []launcher
 }
 
-// launchProgram starts a page program (launch hands the command to its
-// transport) respecting per-block allocation order: the next program
-// for a block leaves the host only after the previous one flushed.
-func (a *Array) launchProgram(ppn topo.PPN, launch func()) {
+// launchProgram starts a page program respecting per-block allocation
+// order: the next program for a block leaves the host only after the
+// previous one flushed.
+func (a *Array) launchProgram(ppn topo.PPN, l launcher) {
 	bk := ppn.BlockKey()
 	g := a.gates[bk]
 	if g == nil {
@@ -485,11 +572,11 @@ func (a *Array) launchProgram(ppn topo.PPN, launch func()) {
 		a.gates[bk] = g
 	}
 	if g.busy {
-		g.waiting = append(g.waiting, launch)
+		g.waiting = append(g.waiting, l)
 		return
 	}
 	g.busy = true
-	launch()
+	l.launch()
 }
 
 // releaseGate lets the block's next queued program launch.
@@ -500,33 +587,48 @@ func (a *Array) releaseGate(bk topo.PPN) {
 	}
 	if len(g.waiting) > 0 {
 		next := g.waiting[0]
+		g.waiting[0] = nil
 		g.waiting = g.waiting[:copy(g.waiting, g.waiting[1:])]
-		next()
+		next.launch()
 		return
 	}
 	delete(a.gates, bk)
 }
 
 // trackFlush registers an in-flight page program and arranges its
-// retirement when the endpoint flush completes.
+// retirement when the endpoint flush completes (OnCommandFlushed).
 func (a *Array) trackFlush(ppn topo.PPN, cmd *cluster.Command) {
 	a.pendingFlush[ppn] = true
 	a.pendingByBlock[ppn.BlockKey()]++
-	cmd.OnFlushed = func(c *cluster.Command) {
-		if c.Result.Err != nil {
-			panic(fmt.Sprintf("array: flush of %v failed: %v", ppn, c.Result.Err))
-		}
-		delete(a.pendingFlush, ppn)
-		bk := ppn.BlockKey()
-		if a.pendingByBlock[bk]--; a.pendingByBlock[bk] == 0 {
-			delete(a.pendingByBlock, bk)
-		}
-		if a.staleOnFlush[ppn] {
-			delete(a.staleOnFlush, ppn)
-			a.staleDeviceNow(ppn)
-		}
-		a.releaseGate(bk)
+	cmd.FlushPPN = ppn
+	cmd.Flushed = a
+}
+
+// OnCommandFlushed implements cluster.FlushedH: a tracked page program
+// reached flash (the write-buffer eviction point). This is also the
+// write command's release point — for host writes the command recycles
+// once both retirement events (ack delivery, flush) have happened; for
+// background writes OnComplete has already run, so it recycles here.
+func (a *Array) OnCommandFlushed(c *cluster.Command) {
+	ppn := c.FlushPPN
+	if c.Result.Err != nil {
+		panic(fmt.Sprintf("array: flush of %v failed: %v", ppn, c.Result.Err))
 	}
+	delete(a.pendingFlush, ppn)
+	bk := ppn.BlockKey()
+	if a.pendingByBlock[bk]--; a.pendingByBlock[bk] == 0 {
+		delete(a.pendingByBlock, bk)
+	}
+	if a.staleOnFlush[ppn] {
+		delete(a.staleOnFlush, ppn)
+		a.staleDeviceNow(ppn)
+	}
+	if c.Background || c.RetireMark {
+		a.cmdPool.Put(c)
+	} else {
+		c.RetireMark = true
+	}
+	a.releaseGate(bk)
 }
 
 // markStaleDevice mirrors an FTL stale-mark onto the device page,
@@ -569,9 +671,13 @@ func (a *Array) deliver(pkt *pcie.Packet) {
 	if res.Err != nil {
 		// A read can lose the race against garbage collection: its
 		// physical address was erased while the command was in flight.
-		// Re-resolve against the current mapping and retry.
+		// Re-resolve against the current mapping and retry. The stale
+		// packets and command recycle first so the retry reuses them.
 		if cmd.Op == cluster.OpRead && ref.retries < maxReadRetries {
 			ref.retries++
+			a.pktPool.Put(ref.down)
+			a.pktPool.Put(pkt)
+			a.cmdPool.Put(cmd)
 			a.retryRead(ref)
 			return
 		}
@@ -618,6 +724,18 @@ func (a *Array) deliver(pkt *pcie.Packet) {
 			Result:  res,
 		})
 	}
+	// Release points: both fabric packets are fully read (the breakdown
+	// above holds copies), as is the page ref. Read commands are done;
+	// a write command recycles here only if its flush already retired
+	// (RetireMark coordination with OnCommandFlushed).
+	a.pktPool.Put(down)
+	a.pktPool.Put(up)
+	if cmd.Op == cluster.OpRead || cmd.RetireMark {
+		a.cmdPool.Put(cmd)
+	} else {
+		cmd.RetireMark = true
+	}
+	a.recycleRef(ref)
 	a.finishPage(req, b)
 }
 
@@ -642,6 +760,7 @@ func (a *Array) finishPage(req *request, b metrics.Breakdown) {
 		Breakdown: req.agg,
 	})
 	a.inFlight--
+	a.recycleReq(req)
 	if a.inFlight == 0 && a.onIdle != nil {
 		a.onIdle()
 	}

@@ -61,25 +61,24 @@ func (a *Array) execGCMoves(plan *ftl.GCPlan, i int, done func()) {
 	next := func() { a.execGCMoves(plan, i+1, done) }
 
 	ep := a.Endpoint(move.Src.ClusterID())
-	readCmd := &cluster.Command{
-		Op:         cluster.OpRead,
-		FIMM:       move.Src.FIMMSlot(),
-		Pkg:        move.Src.Pkg(),
-		Addrs:      []nand.Addr{move.Src.NandAddr(a.cfg.Geometry)},
-		Background: true,
-		OnComplete: func(c *cluster.Command) {
-			if c.Result.Err != nil {
-				panic(fmt.Sprintf("array: GC read: %v", c.Result.Err))
-			}
-			wa, err := a.ftl.AllocateGCMove(move)
-			if err != nil {
-				// A host write moved the page since planning; skip it.
-				next()
-				return
-			}
-			a.markStaleDevice(wa.Old)
-			a.backgroundProgram(wa.New, next)
-		},
+	readCmd := a.cmdPool.Get()
+	readCmd.Op = cluster.OpRead
+	readCmd.FIMM, readCmd.Pkg = move.Src.FIMMSlot(), move.Src.Pkg()
+	readCmd.SetPageAddr(move.Src.NandAddr(a.cfg.Geometry))
+	readCmd.Background = true
+	readCmd.OnComplete = func(c *cluster.Command) {
+		if c.Result.Err != nil {
+			panic(fmt.Sprintf("array: GC read: %v", c.Result.Err))
+		}
+		a.cmdPool.Put(c) // background reads retire at completion
+		wa, err := a.ftl.AllocateGCMove(move)
+		if err != nil {
+			// A host write moved the page since planning; skip it.
+			next()
+			return
+		}
+		a.markStaleDevice(wa.Old)
+		a.backgroundProgram(wa.New, next)
 	}
 	ep.Submit(readCmd)
 }
@@ -93,21 +92,21 @@ func (a *Array) gcVeto(victim topo.PPN) bool {
 // backgroundProgram writes one page at ppn via the endpoint write path.
 func (a *Array) backgroundProgram(ppn topo.PPN, done func()) {
 	ep := a.Endpoint(ppn.ClusterID())
-	cmd := &cluster.Command{
-		Op:         cluster.OpWrite,
-		FIMM:       ppn.FIMMSlot(),
-		Pkg:        ppn.Pkg(),
-		Addrs:      []nand.Addr{ppn.NandAddr(a.cfg.Geometry)},
-		Background: true,
-		OnComplete: func(c *cluster.Command) {
-			if c.Result.Err != nil {
-				panic(fmt.Sprintf("array: background program: %v", c.Result.Err))
-			}
-			done()
-		},
+	cmd := a.cmdPool.Get()
+	cmd.Op = cluster.OpWrite
+	cmd.FIMM, cmd.Pkg = ppn.FIMMSlot(), ppn.Pkg()
+	cmd.SetPageAddr(ppn.NandAddr(a.cfg.Geometry))
+	cmd.Background = true
+	// The flush retirement (OnCommandFlushed) recycles the command;
+	// OnComplete only chains the GC state machine.
+	cmd.OnComplete = func(c *cluster.Command) {
+		if c.Result.Err != nil {
+			panic(fmt.Sprintf("array: background program: %v", c.Result.Err))
+		}
+		done()
 	}
 	a.trackFlush(ppn, cmd)
-	a.launchProgram(ppn, func() { ep.Submit(cmd) })
+	a.launchProgram(ppn, funcLauncher(func() { ep.Submit(cmd) }))
 }
 
 // eraseVictim erases the plan's victim block and completes the plan.

@@ -6,7 +6,6 @@ import (
 
 	"triplea/internal/cluster"
 	"triplea/internal/ftl"
-	"triplea/internal/nand"
 	"triplea/internal/pcie"
 	"triplea/internal/topo"
 )
@@ -52,20 +51,21 @@ func (a *Array) MigratePage(lpn int64, dst topo.FIMMID, shadow bool, done func(e
 	}
 	// Naive migration: read the source page from flash first.
 	ep := a.Endpoint(src.ClusterID())
-	ep.Submit(&cluster.Command{
-		Op:         cluster.OpRead,
-		FIMM:       src.FIMMSlot(),
-		Pkg:        src.Pkg(),
-		Addrs:      []nand.Addr{src.NandAddr(a.cfg.Geometry)},
-		Background: true,
-		OnComplete: func(c *cluster.Command) {
-			if c.Result.Err != nil {
-				done(fmt.Errorf("array: migration read: %w", c.Result.Err))
-				return
-			}
-			transfer()
-		},
-	})
+	readCmd := a.cmdPool.Get()
+	readCmd.Op = cluster.OpRead
+	readCmd.FIMM, readCmd.Pkg = src.FIMMSlot(), src.Pkg()
+	readCmd.SetPageAddr(src.NandAddr(a.cfg.Geometry))
+	readCmd.Background = true
+	readCmd.OnComplete = func(c *cluster.Command) {
+		err := c.Result.Err
+		a.cmdPool.Put(c) // background reads retire at completion
+		if err != nil {
+			done(fmt.Errorf("array: migration read: %w", err))
+			return
+		}
+		transfer()
+	}
+	ep.Submit(readCmd)
 }
 
 // transferPage relocates the mapping and moves the staged data to dst.
@@ -89,33 +89,33 @@ func (a *Array) transferPage(lpn int64, src topo.PPN, dst topo.FIMMID, done func
 		a.migrations++
 		done(nil)
 	}
-	writeCmd := &cluster.Command{
-		Op:         cluster.OpWrite,
-		FIMM:       wa.New.FIMMSlot(),
-		Pkg:        wa.New.Pkg(),
-		Addrs:      []nand.Addr{wa.New.NandAddr(a.cfg.Geometry)},
-		Background: true,
-		OnComplete: finish,
-	}
+	writeCmd := a.cmdPool.Get()
+	writeCmd.Op = cluster.OpWrite
+	writeCmd.FIMM, writeCmd.Pkg = wa.New.FIMMSlot(), wa.New.Pkg()
+	writeCmd.SetPageAddr(wa.New.NandAddr(a.cfg.Geometry))
+	writeCmd.Background = true
+	// OnCommandFlushed recycles the command; OnComplete only reports.
+	writeCmd.OnComplete = finish
 	a.trackFlush(wa.New, writeCmd)
 
 	if src.ClusterID() == wa.New.ClusterID() {
 		// Reshaping within the cluster: the data never leaves the
 		// endpoint; the write path (bus + program) is the whole cost.
-		a.launchProgram(wa.New, func() {
+		a.launchProgram(wa.New, funcLauncher(func() {
 			a.Endpoint(wa.New.ClusterID()).Submit(writeCmd)
-		})
+		}))
 		return
 	}
 	// Peer-to-peer clone across the fabric: the cloned page rides a
 	// posted write from the source endpoint to the destination cluster,
-	// sharing links and switch buffers with host traffic.
-	a.launchProgram(wa.New, func() {
-		a.Endpoint(src.ClusterID()).Forward(&pcie.Packet{
-			Kind:    pcie.MemWrite,
-			Addr:    routeAddr(wa.New.ClusterID()),
-			Payload: a.cfg.Geometry.Nand.PageSizeBytes,
-			Meta:    writeCmd,
-		})
-	})
+	// sharing links and switch buffers with host traffic. The clone
+	// packet recycles on arrival at the destination endpoint.
+	a.launchProgram(wa.New, funcLauncher(func() {
+		pkt := a.pktPool.Get()
+		pkt.Kind = pcie.MemWrite
+		pkt.Addr = routeAddr(wa.New.ClusterID())
+		pkt.Payload = a.cfg.Geometry.Nand.PageSizeBytes
+		pkt.Meta = writeCmd
+		a.Endpoint(src.ClusterID()).Forward(pkt)
+	}))
 }

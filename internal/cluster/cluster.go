@@ -162,19 +162,144 @@ type Command struct {
 	// OnComplete fires when the endpoint finishes the command (data
 	// staged for reads, buffer accepted for writes, program completed
 	// for background writes). Completion packets to the host are
-	// separate and flow through the fabric.
+	// separate and flow through the fabric. Cold paths only: the hot
+	// host path communicates through completion packets and Flushed.
 	OnComplete func(*Command)
-	// OnFlushed fires for host writes when the background flush has
+	// Flushed fires for host writes when the background flush has
 	// programmed the page (or failed); the array uses it to retire
-	// write-buffer bookkeeping.
-	OnFlushed func(*Command)
+	// write-buffer bookkeeping. FlushPPN is opaque cargo echoed back so
+	// the receiver needs no per-command closure state.
+	Flushed  FlushedH
+	FlushPPN topo.PPN
+	// RetireMark coordinates the two retirement events of a pooled host
+	// write command — completion-ack delivery at the host and flush
+	// completion at the endpoint — which are not strictly ordered.
+	// Whichever event observes the mark set releases the command;
+	// the first one to run only sets it.
+	RetireMark bool
 
 	arrived simx.Time
 	from    *pcie.Link // ingress link to credit back, if packet-borne
+	ep      *Endpoint  // owning endpoint while in flight
+
+	// Per-operation scratch for the typed event path.
+	stageWait simx.Time // staging wait (read upstream path)
+	busWait   simx.Time // shared-bus wait
+	xferT     simx.Time // shared-bus transfer time
+
+	addrBuf [1]nand.Addr // inline storage for the single-page Addrs case
+	next    *Command     // free-list link while parked in a CommandPool
+	ck      simx.PoolCheck
+}
+
+// FlushedH receives write-flush retirements (the typed counterpart of a
+// per-command closure).
+type FlushedH interface {
+	OnCommandFlushed(c *Command)
 }
 
 // Pages reports the page count of the command.
 func (c *Command) Pages() units.Pages { return units.Pages(len(c.Addrs)) }
+
+// SetPageAddr points Addrs at the command's inline single-page buffer —
+// the overwhelmingly common case — without allocating a slice.
+func (c *Command) SetPageAddr(a nand.Addr) {
+	c.addrBuf[0] = a
+	c.Addrs = c.addrBuf[:1]
+}
+
+// Grant-phase discriminators (simx.Grantee arg).
+const (
+	gHAL      uint64 = iota // HAL logic granted (read and buffer-hit paths)
+	gStageHit               // staging granted for a buffer-hit read
+	gStageRead              // staging granted on the read upstream path
+	gBusRead                // shared bus granted on the read upstream path
+	gWBuf                   // write-buffer entry granted
+	gBusFlush               // shared bus granted for a write flush
+)
+
+// Event-phase discriminators (simx.Handler arg).
+const (
+	hHALDone  uint64 = iota // HAL construction latency elapsed
+	hReadXfer               // read data crossed the shared bus
+	hFlushXfer              // write data crossed the shared bus
+)
+
+// OnGrant implements simx.Grantee: one of the endpoint's resources is ours.
+func (cmd *Command) OnGrant(arg uint64, waited simx.Time) {
+	ep := cmd.ep
+	switch arg {
+	case gHAL:
+		ep.eng.ScheduleEvent(ep.params.HALLatency, cmd, hHALDone)
+	case gStageHit:
+		cmd.Result.LinkWait += waited
+		ep.finishRead(cmd)
+	case gStageRead:
+		cmd.stageWait = waited
+		ep.bus.AcquireG(cmd, gBusRead)
+	case gBusRead:
+		cmd.busWait = waited
+		cmd.xferT = units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
+		ep.eng.ScheduleEvent(cmd.xferT, cmd, hReadXfer)
+	case gWBuf:
+		ep.admitBufferedWrite(cmd, waited)
+	case gBusFlush:
+		cmd.busWait = waited
+		cmd.xferT = units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
+		ep.eng.ScheduleEvent(cmd.xferT, cmd, hFlushXfer)
+	default:
+		panic("cluster: unknown grant phase")
+	}
+}
+
+// OnEvent implements simx.Handler for the command's timed phases.
+func (cmd *Command) OnEvent(arg uint64) {
+	ep := cmd.ep
+	switch arg {
+	case hHALDone:
+		ep.hal.Release()
+		if cmd.BufferHit {
+			ep.stats.BufferHits++
+			ep.staging.AcquireG(cmd, gStageHit)
+			return
+		}
+		ep.fimms[cmd.FIMM].ReadOp(cmd.Pkg, cmd.Addrs, cmd)
+	case hReadXfer:
+		ep.bus.Release()
+		cmd.Result.LinkWait += cmd.stageWait + cmd.busWait
+		cmd.Result.LinkXfer += cmd.xferT
+		ep.accountRead(cmd)
+		ep.finishRead(cmd)
+	case hFlushXfer:
+		ep.bus.Release()
+		cmd.Result.LinkWait += cmd.busWait
+		cmd.Result.LinkXfer += cmd.xferT
+		ep.fimms[cmd.FIMM].ProgramOp(cmd.Pkg, cmd.Addrs, cmd)
+	default:
+		panic("cluster: unknown event phase")
+	}
+}
+
+// OnFIMMDone implements fimm.Done: the module finished the cell
+// operation (and, for reads, the channel transfer).
+func (cmd *Command) OnFIMMDone(r fimm.Result) {
+	ep := cmd.ep
+	switch cmd.Op {
+	case OpRead:
+		if r.Err != nil {
+			ep.releaseFIMMSlot(cmd.FIMM)
+			ep.fail(cmd, r.Err)
+			return
+		}
+		cmd.Result.StorageWait = r.StorageWait
+		cmd.Result.Texe = r.Texe
+		cmd.Result.LinkWait = r.ChannelWait
+		cmd.Result.LinkXfer = r.ChannelXfer
+		ep.moveUpstream(cmd)
+	case OpWrite:
+		ep.finishFlush(cmd, r)
+	}
+}
 
 // Stats aggregates endpoint activity.
 type Stats struct {
@@ -209,7 +334,8 @@ type Endpoint struct {
 	pendingLen  int
 	outstanding []int // per-FIMM issued-but-unfinished counts
 
-	up *pcie.Link // toward the switch
+	up      *pcie.Link // toward the switch
+	pktPool *pcie.Pool // optional shared packet free-list for completions
 
 	stats Stats
 	ck    ckState // empty unless built with -tags simcheck
@@ -264,6 +390,20 @@ func (ep *Endpoint) FIMM(i int) *fimm.FIMM { return ep.fimms[i] }
 // SetUpstream attaches the egress link toward the switch.
 func (ep *Endpoint) SetUpstream(l *pcie.Link) { ep.up = l }
 
+// SetPacketPool shares a packet free-list with the endpoint, so the
+// completions it mints upstream recycle the packets the host retires.
+// Without a pool the endpoint allocates (standalone tests).
+func (ep *Endpoint) SetPacketPool(p *pcie.Pool) { ep.pktPool = p }
+
+// newPacket draws a zeroed completion packet from the shared pool, or
+// allocates one when no pool is attached.
+func (ep *Endpoint) newPacket() *pcie.Packet {
+	if ep.pktPool != nil {
+		return ep.pktPool.Get()
+	}
+	return &pcie.Packet{}
+}
+
 // Stats returns a snapshot of endpoint activity.
 func (ep *Endpoint) Stats() Stats { return ep.stats }
 
@@ -311,12 +451,25 @@ func (ep *Endpoint) Receive(pkt *pcie.Packet, from *pcie.Link) {
 		panic(fmt.Sprintf("cluster %v: packet %v carries no command", ep.id, pkt))
 	}
 	cmd.from = from
+	// Background packets (cross-switch migration writes) end here: the
+	// command carries everything onward, and no breakdown is read back
+	// from the packet. Host packets stay alive until the array's
+	// deliver reads their stall accumulators.
+	if cmd.Background && ep.pktPool != nil {
+		ep.pktPool.Put(pkt)
+	}
 	ep.Submit(cmd)
 }
+
+// OnLinkAccepted implements pcie.Accepted: an upstream completion left
+// the endpoint's buffer, so its staging entry frees up.
+func (ep *Endpoint) OnLinkAccepted(*pcie.Packet) { ep.staging.Release() }
 
 // Submit accepts a command directly (background work enters here;
 // packet-borne commands arrive via Receive).
 func (ep *Endpoint) Submit(cmd *Command) {
+	cmd.ck.InUse("cluster.Command")
+	cmd.ep = ep
 	if cmd.FIMM < 0 || cmd.FIMM >= len(ep.fimms) {
 		ep.fail(cmd, fmt.Errorf("cluster %v: FIMM slot %d out of range", ep.id, cmd.FIMM))
 		return
@@ -344,16 +497,7 @@ func (ep *Endpoint) Submit(cmd *Command) {
 func (ep *Endpoint) serveBufferHit(cmd *Command) {
 	cmd.Result.EPWait = 0
 	ep.creditBack(cmd)
-	ep.hal.Acquire(func(simx.Time) {
-		ep.eng.Schedule(ep.params.HALLatency, func() {
-			ep.hal.Release()
-			ep.stats.BufferHits++
-			ep.staging.Acquire(func(stageWait simx.Time) {
-				cmd.Result.LinkWait += stageWait
-				ep.finishRead(cmd)
-			})
-		})
-	})
+	ep.hal.AcquireG(cmd, gHAL)
 }
 
 func (ep *Endpoint) fail(cmd *Command, err error) {
@@ -363,7 +507,9 @@ func (ep *Endpoint) fail(cmd *Command, err error) {
 	// completion) so the array can re-resolve stale addresses — e.g. a
 	// read whose target block was garbage-collected in flight.
 	if !cmd.Background && ep.up != nil && cmd.Meta != nil {
-		ep.up.Send(&pcie.Packet{Kind: pcie.Completion, Addr: ep.routeAddr(), Meta: cmd}, nil)
+		pkt := ep.newPacket()
+		pkt.Kind, pkt.Addr, pkt.Meta = pcie.Completion, ep.routeAddr(), cmd
+		ep.up.Send(pkt, nil)
 	}
 	if cmd.OnComplete != nil {
 		cmd.OnComplete(cmd)
@@ -443,23 +589,7 @@ func (ep *Endpoint) issueRead(cmd *Command) {
 	// The command occupies a queue entry until the HAL hands it to the
 	// FIMM; the ingress credit returns here.
 	ep.creditBack(cmd)
-	ep.hal.Acquire(func(simx.Time) {
-		ep.eng.Schedule(ep.params.HALLatency, func() {
-			ep.hal.Release()
-			ep.fimms[f].Read(cmd.Pkg, cmd.Addrs, func(r fimm.Result) {
-				if r.Err != nil {
-					ep.releaseFIMMSlot(f)
-					ep.fail(cmd, r.Err)
-					return
-				}
-				cmd.Result.StorageWait = r.StorageWait
-				cmd.Result.Texe = r.Texe
-				cmd.Result.LinkWait = r.ChannelWait
-				cmd.Result.LinkXfer = r.ChannelXfer
-				ep.moveUpstream(cmd)
-			})
-		})
-	})
+	ep.hal.AcquireG(cmd, gHAL)
 }
 
 // moveUpstream stages read data in the endpoint and transfers it across
@@ -469,18 +599,7 @@ func (ep *Endpoint) issueRead(cmd *Command) {
 // cluster's link contention, not storage contention.
 func (ep *Endpoint) moveUpstream(cmd *Command) {
 	ep.releaseFIMMSlot(cmd.FIMM)
-	ep.staging.Acquire(func(stageWait simx.Time) {
-		ep.bus.Acquire(func(busWait simx.Time) {
-			xfer := units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
-			ep.eng.Schedule(xfer, func() {
-				ep.bus.Release()
-				cmd.Result.LinkWait += stageWait + busWait
-				cmd.Result.LinkXfer += xfer
-				ep.accountRead(cmd)
-				ep.finishRead(cmd)
-			})
-		})
-	})
+	ep.staging.AcquireG(cmd, gStageRead)
 }
 
 func (ep *Endpoint) accountRead(cmd *Command) {
@@ -505,13 +624,12 @@ func (ep *Endpoint) finishRead(cmd *Command) {
 		}
 		return
 	}
-	pkt := &pcie.Packet{
-		Kind:    pcie.Completion,
-		Addr:    ep.routeAddr(),
-		Payload: units.PagesToBytes(cmd.Pages(), ep.params.FIMM.Nand.PageSizeBytes),
-		Meta:    cmd,
-	}
-	ep.up.Send(pkt, func() { ep.staging.Release() })
+	pkt := ep.newPacket()
+	pkt.Kind = pcie.Completion
+	pkt.Addr = ep.routeAddr()
+	pkt.Payload = units.PagesToBytes(cmd.Pages(), ep.params.FIMM.Nand.PageSizeBytes)
+	pkt.Meta = cmd
+	ep.up.Send(pkt, ep)
 	if cmd.OnComplete != nil {
 		cmd.OnComplete(cmd)
 	}
@@ -521,67 +639,68 @@ func (ep *Endpoint) finishRead(cmd *Command) {
 // upstream immediately (writes return early), and flushes the data to
 // flash in the background.
 func (ep *Endpoint) admitWrite(cmd *Command) {
-	ep.writeBuf.Acquire(func(bufWait simx.Time) {
-		cmd.Result.EPWait = ep.eng.Now() - cmd.arrived
-		ep.stats.EPWaitNS += cmd.Result.EPWait
-		ep.stats.WriteBufStall += bufWait
-		ep.creditBack(cmd)
-		cmd.AckResult = cmd.Result
-		if !cmd.Background && ep.up != nil {
-			ack := &pcie.Packet{Kind: pcie.Completion, Addr: ep.routeAddr(), Meta: cmd}
-			ep.up.Send(ack, nil)
-		}
-		if !cmd.Background && cmd.OnComplete != nil {
-			// Host writes complete at buffering time; the flush result
-			// no longer affects the request.
-			cmd.OnComplete(cmd)
-		}
-		ep.flushWrite(cmd)
-	})
+	ep.writeBuf.AcquireG(cmd, gWBuf)
+}
+
+// admitBufferedWrite runs once the write-buffer entry is granted: ack
+// the host early, then flush in the background.
+func (ep *Endpoint) admitBufferedWrite(cmd *Command, bufWait simx.Time) {
+	cmd.Result.EPWait = ep.eng.Now() - cmd.arrived
+	ep.stats.EPWaitNS += cmd.Result.EPWait
+	ep.stats.WriteBufStall += bufWait
+	ep.creditBack(cmd)
+	cmd.AckResult = cmd.Result
+	if !cmd.Background && ep.up != nil {
+		ack := ep.newPacket()
+		ack.Kind, ack.Addr, ack.Meta = pcie.Completion, ep.routeAddr(), cmd
+		ep.up.Send(ack, nil)
+	}
+	if !cmd.Background && cmd.OnComplete != nil {
+		// Host writes complete at buffering time; the flush result
+		// no longer affects the request.
+		cmd.OnComplete(cmd)
+	}
+	ep.flushWrite(cmd)
 }
 
 // flushWrite moves buffered write data over the shared bus and programs
 // the FIMM, then frees the buffer entry.
 func (ep *Endpoint) flushWrite(cmd *Command) {
-	ep.bus.Acquire(func(busWait simx.Time) {
-		xfer := units.ScaleByPages(ep.params.BusPageTime(), cmd.Pages())
-		ep.eng.Schedule(xfer, func() {
-			ep.bus.Release()
-			cmd.Result.LinkWait += busWait
-			cmd.Result.LinkXfer += xfer
-			ep.fimms[cmd.FIMM].Program(cmd.Pkg, cmd.Addrs, func(r fimm.Result) {
-				ep.writeBuf.Release()
-				if r.Err != nil {
-					cmd.Result.Err = r.Err
-					if cmd.Background && cmd.OnComplete != nil {
-						cmd.OnComplete(cmd)
-					}
-					if cmd.OnFlushed != nil {
-						cmd.OnFlushed(cmd)
-					}
-					return
-				}
-				cmd.Result.StorageWait += r.StorageWait
-				cmd.Result.Texe += r.Texe
-				cmd.Result.LinkWait += r.ChannelWait
-				cmd.Result.LinkXfer += r.ChannelXfer
-				if cmd.Background {
-					ep.stats.BgWrites++
-				} else {
-					ep.stats.Writes++
-				}
-				ep.stats.StorageWaitNS += cmd.Result.StorageWait
-				ep.stats.LinkWaitNS += cmd.Result.LinkWait
-				ep.stats.LinkXferNS += cmd.Result.LinkXfer
-				if cmd.Background && cmd.OnComplete != nil {
-					cmd.OnComplete(cmd)
-				}
-				if cmd.OnFlushed != nil {
-					cmd.OnFlushed(cmd)
-				}
-			})
-		})
-	})
+	ep.bus.AcquireG(cmd, gBusFlush)
+}
+
+// finishFlush retires a write flush: the FIMM has programmed the page
+// (or failed) and the buffer entry frees up.
+func (ep *Endpoint) finishFlush(cmd *Command, r fimm.Result) {
+	ep.writeBuf.Release()
+	if r.Err != nil {
+		cmd.Result.Err = r.Err
+		if cmd.Background && cmd.OnComplete != nil {
+			cmd.OnComplete(cmd)
+		}
+		if cmd.Flushed != nil {
+			cmd.Flushed.OnCommandFlushed(cmd)
+		}
+		return
+	}
+	cmd.Result.StorageWait += r.StorageWait
+	cmd.Result.Texe += r.Texe
+	cmd.Result.LinkWait += r.ChannelWait
+	cmd.Result.LinkXfer += r.ChannelXfer
+	if cmd.Background {
+		ep.stats.BgWrites++
+	} else {
+		ep.stats.Writes++
+	}
+	ep.stats.StorageWaitNS += cmd.Result.StorageWait
+	ep.stats.LinkWaitNS += cmd.Result.LinkWait
+	ep.stats.LinkXferNS += cmd.Result.LinkXfer
+	if cmd.Background && cmd.OnComplete != nil {
+		cmd.OnComplete(cmd)
+	}
+	if cmd.Flushed != nil {
+		cmd.Flushed.OnCommandFlushed(cmd)
+	}
 }
 
 // Erase runs a block erase (GC traffic) on a FIMM.
@@ -604,7 +723,13 @@ func (ep *Endpoint) routeAddr() uint64 {
 	return uint64(ep.id.Switch)<<32 | uint64(ep.id.Cluster)
 }
 
-var _ pcie.Receiver = (*Endpoint)(nil)
+var (
+	_ pcie.Receiver = (*Endpoint)(nil)
+	_ pcie.Accepted = (*Endpoint)(nil)
+	_ fimm.Done     = (*Command)(nil)
+	_ simx.Grantee  = (*Command)(nil)
+	_ simx.Handler  = (*Command)(nil)
+)
 
 // DebugOccupancy reports internal resource occupancy (diagnostics).
 func (ep *Endpoint) DebugOccupancy() (busInUse, busQ, stagingInUse, stagingQ, wbufInUse, wbufQ, halQ int) {

@@ -1,0 +1,43 @@
+package cluster
+
+// CommandPool is a single-threaded intrusive free-list of Command
+// objects, mirroring pcie.Pool for packets. The array layer draws one
+// command per page operation and returns it at the operation's single
+// release point (delivery for reads, flush retirement for writes).
+// Plain single-threaded state — not sync.Pool — per the nospawn rule.
+type CommandPool struct {
+	free    *Command
+	freeLen int
+}
+
+// Get pops a recycled command (zeroed) or allocates a fresh one.
+func (p *CommandPool) Get() *Command {
+	c := p.free
+	if c == nil {
+		return &Command{}
+	}
+	p.free = c.next
+	p.freeLen--
+	c.ck.Checkout("cluster.Command")
+	*c = Command{}
+	return c
+}
+
+// Put returns a command to the free-list. The caller must not touch
+// the command afterwards; under `-tags simcheck` the embedded guard
+// panics on double-Put and use-after-Put.
+func (p *CommandPool) Put(c *Command) {
+	if c == nil {
+		panic("cluster: Put of nil command")
+	}
+	c.ck.Release("cluster.Command")
+	c.Meta, c.OnComplete, c.Flushed = nil, nil, nil
+	c.Addrs = nil
+	c.ep, c.from = nil, nil
+	c.next = p.free
+	p.free = c
+	p.freeLen++
+}
+
+// Free reports how many recycled commands are idle in the pool.
+func (p *CommandPool) Free() int { return p.freeLen }

@@ -104,14 +104,135 @@ type Stats struct {
 	MaxBlockWear int
 }
 
+// Done is the typed completion receiver for FIMM operations — the
+// zero-allocation alternative to the func callbacks.
+type Done interface {
+	OnFIMMDone(r Result)
+}
+
+// DoneFunc adapts a plain function to Done for cold paths and tests
+// (the conversion allocates).
+type DoneFunc func(r Result)
+
+// OnFIMMDone implements Done.
+func (fn DoneFunc) OnFIMMDone(r Result) { fn(r) }
+
 // FIMM is one flash inline memory module.
 type FIMM struct {
 	eng      *simx.Engine
 	params   Params
 	packages []*nand.Package
 	channel  *simx.Resource
+	freeOp   *fop // recycled operation nodes
 
 	stats Stats
+}
+
+// fop is the pooled per-operation state for the typed read/program
+// paths: it receives the cell completion (nand.Done), queues for the
+// shared channel (simx.Grantee), and rides the transfer event
+// (simx.Handler). The op field selects the branch: reads run
+// cell → channel, programs run channel → cell.
+type fop struct {
+	f     *FIMM
+	op    nand.Op
+	pkg   int
+	addrs []nand.Addr
+	d     Done
+	wait  simx.Time // storage (die-queue) wait
+	cell  simx.Time // nominal cell time
+	chW   simx.Time // channel-queue wait
+	xfer  simx.Time // channel transfer time
+	next  *fop
+	ck    simx.PoolCheck
+}
+
+// finish recycles the node, then delivers the result.
+func (st *fop) finish(r Result) {
+	f, d := st.f, st.d
+	f.recycleOp(st)
+	d.OnFIMMDone(r)
+}
+
+// OnNandDone implements nand.Done.
+func (st *fop) OnNandDone(texe simx.Time, err error) {
+	f := st.f
+	switch st.op {
+	case nand.OpRead:
+		if err != nil {
+			st.finish(Result{Err: err})
+			return
+		}
+		// texe from nand includes die queueing; split out the nominal
+		// cell time so storage contention is visible separately.
+		st.wait, st.cell = splitDeviceTime(texe, f.cellTime(nand.OpRead, len(st.addrs)))
+		f.channel.AcquireG(st, 0)
+	case nand.OpProgram:
+		if err != nil {
+			st.finish(Result{ChannelWait: st.chW, ChannelXfer: st.xfer, Err: err})
+			return
+		}
+		st.wait, st.cell = splitDeviceTime(texe, f.cellTime(nand.OpProgram, len(st.addrs)))
+		f.stats.Programs += uint64(len(st.addrs))
+		f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(st.addrs)), f.params.Nand.PageSizeBytes)
+		st.finish(Result{
+			StorageWait: st.wait,
+			Texe:        st.cell,
+			ChannelWait: st.chW,
+			ChannelXfer: st.xfer,
+		})
+	case nand.OpErase:
+		panic("fimm: erase on pooled op path")
+	}
+}
+
+// OnGrant implements simx.Grantee: the shared channel is ours.
+func (st *fop) OnGrant(arg uint64, waited simx.Time) {
+	st.chW = waited
+	st.f.eng.ScheduleEvent(st.xfer, st, 0)
+}
+
+// OnEvent implements simx.Handler: the channel transfer finished.
+func (st *fop) OnEvent(arg uint64) {
+	f := st.f
+	f.channel.Release()
+	switch st.op {
+	case nand.OpRead:
+		f.stats.Reads += uint64(len(st.addrs))
+		f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(st.addrs)), f.params.Nand.PageSizeBytes)
+		st.finish(Result{
+			StorageWait: st.wait,
+			Texe:        st.cell,
+			ChannelWait: st.chW,
+			ChannelXfer: st.xfer,
+		})
+	case nand.OpProgram:
+		// Data is in the package's register; program the cells.
+		f.packages[st.pkg].ProgramOp(st.addrs, st)
+	case nand.OpErase:
+		panic("fimm: erase on pooled op path")
+	}
+}
+
+func (f *FIMM) newOp(op nand.Op, pkg int, addrs []nand.Addr, d Done) *fop {
+	st := f.freeOp
+	if st != nil {
+		f.freeOp = st.next
+		st.ck.Checkout("fimm.fop")
+		st.next = nil
+	} else {
+		st = &fop{f: f}
+	}
+	st.op, st.pkg, st.addrs, st.d = op, pkg, addrs, d
+	st.wait, st.cell, st.chW, st.xfer = 0, 0, 0, 0
+	return st
+}
+
+func (f *FIMM) recycleOp(st *fop) {
+	st.addrs, st.d = nil, nil
+	st.ck.Release("fimm.fop")
+	st.next = f.freeOp
+	f.freeOp = st
 }
 
 // New builds a FIMM; invalid params panic (construction-time error).
@@ -193,33 +314,21 @@ func (f *FIMM) Read(pkg int, addrs []nand.Addr, done func(Result)) {
 	if done == nil {
 		panic("fimm: nil done callback")
 	}
+	f.ReadOp(pkg, addrs, DoneFunc(done))
+}
+
+// ReadOp is the typed, allocation-free Read.
+func (f *FIMM) ReadOp(pkg int, addrs []nand.Addr, d Done) {
+	if d == nil {
+		panic("fimm: nil done receiver")
+	}
 	if err := f.checkPkg(pkg); err != nil {
-		done(Result{Err: err})
+		d.OnFIMMDone(Result{Err: err})
 		return
 	}
-	f.packages[pkg].Read(addrs, func(texe simx.Time, err error) {
-		if err != nil {
-			done(Result{Err: err})
-			return
-		}
-		// texe from nand includes die queueing; split out the nominal
-		// cell time so storage contention is visible separately.
-		wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpRead, len(addrs)))
-		xfer := units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
-		f.channel.Acquire(func(waited simx.Time) {
-			f.eng.Schedule(xfer, func() {
-				f.channel.Release()
-				f.stats.Reads += uint64(len(addrs))
-				f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(addrs)), f.params.Nand.PageSizeBytes)
-				done(Result{
-					StorageWait: wait,
-					Texe:        cell,
-					ChannelWait: waited,
-					ChannelXfer: xfer,
-				})
-			})
-		})
-	})
+	st := f.newOp(nand.OpRead, pkg, addrs, d)
+	st.xfer = units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
+	f.packages[pkg].ReadOp(addrs, st)
 }
 
 // Program moves the pages across the channel into the package's data
@@ -228,31 +337,21 @@ func (f *FIMM) Program(pkg int, addrs []nand.Addr, done func(Result)) {
 	if done == nil {
 		panic("fimm: nil done callback")
 	}
+	f.ProgramOp(pkg, addrs, DoneFunc(done))
+}
+
+// ProgramOp is the typed, allocation-free Program.
+func (f *FIMM) ProgramOp(pkg int, addrs []nand.Addr, d Done) {
+	if d == nil {
+		panic("fimm: nil done receiver")
+	}
 	if err := f.checkPkg(pkg); err != nil {
-		done(Result{Err: err})
+		d.OnFIMMDone(Result{Err: err})
 		return
 	}
-	xfer := units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
-	f.channel.Acquire(func(waited simx.Time) {
-		f.eng.Schedule(xfer, func() {
-			f.channel.Release()
-			f.packages[pkg].Program(addrs, func(texe simx.Time, err error) {
-				if err != nil {
-					done(Result{ChannelWait: waited, ChannelXfer: xfer, Err: err})
-					return
-				}
-				wait, cell := splitDeviceTime(texe, f.cellTime(nand.OpProgram, len(addrs)))
-				f.stats.Programs += uint64(len(addrs))
-				f.stats.BytesMoved += units.PagesToBytes(units.Pages(len(addrs)), f.params.Nand.PageSizeBytes)
-				done(Result{
-					StorageWait: wait,
-					Texe:        cell,
-					ChannelWait: waited,
-					ChannelXfer: xfer,
-				})
-			})
-		})
-	})
+	st := f.newOp(nand.OpProgram, pkg, addrs, d)
+	st.xfer = units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
+	f.channel.AcquireG(st, 0)
 }
 
 // splitDeviceTime decomposes a device-observed time into (queueing,

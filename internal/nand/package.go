@@ -84,6 +84,19 @@ type Stats struct {
 	MaxEraseWear int
 }
 
+// Done is the typed completion receiver for array operations — the
+// zero-allocation alternative to the func callbacks. texe is the
+// device-observed execution time including die queueing.
+type Done interface {
+	OnNandDone(texe simx.Time, err error)
+}
+
+// doneFunc adapts the closure API onto the typed path (cold paths only:
+// the conversion allocates).
+type doneFunc func(texe simx.Time, err error)
+
+func (f doneFunc) OnNandDone(texe simx.Time, err error) { f(texe, err) }
+
 // Package is one bare NAND flash package. All methods must be called
 // from simulation context (inside engine events or before Run).
 type Package struct {
@@ -92,7 +105,75 @@ type Package struct {
 	dies   []*die
 
 	blocks map[int]*blockState // keyed by flat block id
+	freeOp *opState            // recycled operation nodes
 	stats  Stats
+}
+
+// opState is the pooled per-operation state: it queues for the target
+// die (simx.Grantee), rides the cell-time event (simx.Handler), and is
+// recycled before the completion callback runs. addrs is borrowed from
+// the caller for the duration of the operation.
+type opState struct {
+	pk     *Package
+	op     Op
+	addrs  []Addr
+	d      Done
+	issued simx.Time
+	die    *die
+	texe   simx.Time
+	next   *opState
+	ck     simx.PoolCheck
+}
+
+// OnGrant implements simx.Grantee: the die is ours; run the state
+// machine and start the cell operation.
+func (st *opState) OnGrant(arg uint64, _ simx.Time) {
+	pk := st.pk
+	// State-machine checks run once the die is granted, so queued
+	// sequential programs see the state their predecessors committed.
+	if err := pk.checkState(st.op, st.addrs); err != nil {
+		st.die.res.Release()
+		d := st.d
+		pk.recycleOp(st)
+		d.OnNandDone(0, err)
+		return
+	}
+	st.texe = pk.execTime(st.op, st.addrs, st.die)
+	pk.eng.ScheduleEvent(st.texe, st, 0)
+}
+
+// OnEvent implements simx.Handler: the cell time elapsed; commit.
+func (st *opState) OnEvent(arg uint64) {
+	pk := st.pk
+	pk.commit(st.op, st.addrs, st.die)
+	pk.stats.BusyNS += st.texe
+	st.die.res.Release()
+	d, issued := st.d, st.issued
+	pk.recycleOp(st)
+	// Report device-observed execution time including any die
+	// queueing: callers use it for laggard accounting.
+	d.OnNandDone(pk.eng.Now()-issued, nil)
+}
+
+func (pk *Package) newOp(op Op, addrs []Addr, d Done) *opState {
+	st := pk.freeOp
+	if st != nil {
+		pk.freeOp = st.next
+		st.ck.Checkout("nand.opState")
+		st.next = nil
+	} else {
+		st = &opState{pk: pk}
+	}
+	st.op, st.addrs, st.d, st.issued = op, addrs, d, pk.eng.Now()
+	st.die = pk.dies[addrs[0].Die]
+	return st
+}
+
+func (pk *Package) recycleOp(st *opState) {
+	st.addrs, st.d, st.die = nil, nil, nil
+	st.ck.Release("nand.opState")
+	st.next = pk.freeOp
+	pk.freeOp = st
 }
 
 type die struct {
@@ -221,19 +302,44 @@ func (pk *Package) EraseCount(a Addr) int {
 // done(texe) fires when the data is in the register; moving it off-chip
 // is the channel's job (the FIMM model charges tDMA separately).
 func (pk *Package) Read(addrs []Addr, done func(texe simx.Time, err error)) {
-	pk.startArrayOp(OpRead, addrs, done)
+	if done == nil {
+		panic("nand: nil done callback")
+	}
+	pk.ReadOp(addrs, doneFunc(done))
+}
+
+// ReadOp is the typed, allocation-free Read: d.OnNandDone runs with the
+// array-access time charged.
+func (pk *Package) ReadOp(addrs []Addr, d Done) {
+	pk.startArrayOp(OpRead, addrs, d)
 }
 
 // Program writes the addressed pages. NAND constraints are enforced:
 // the target pages must be erased and must be the block's next
 // sequential page.
 func (pk *Package) Program(addrs []Addr, done func(texe simx.Time, err error)) {
-	pk.startArrayOp(OpProgram, addrs, done)
+	if done == nil {
+		panic("nand: nil done callback")
+	}
+	pk.ProgramOp(addrs, doneFunc(done))
+}
+
+// ProgramOp is the typed, allocation-free Program.
+func (pk *Package) ProgramOp(addrs []Addr, d Done) {
+	pk.startArrayOp(OpProgram, addrs, d)
 }
 
 // Erase erases the addressed blocks (Page field ignored).
 func (pk *Package) Erase(addrs []Addr, done func(texe simx.Time, err error)) {
-	pk.startArrayOp(OpErase, addrs, done)
+	if done == nil {
+		panic("nand: nil done callback")
+	}
+	pk.EraseOp(addrs, doneFunc(done))
+}
+
+// EraseOp is the typed, allocation-free Erase.
+func (pk *Package) EraseOp(addrs []Addr, d Done) {
+	pk.startArrayOp(OpErase, addrs, d)
 }
 
 // ForcePopulate marks a page as programmed without simulating the
@@ -317,41 +423,27 @@ func (pk *Package) validateMultiPlane(op Op, addrs []Addr) error {
 	return nil
 }
 
-func (pk *Package) startArrayOp(op Op, addrs []Addr, done func(simx.Time, error)) {
-	if done == nil {
-		panic("nand: nil done callback")
+func (pk *Package) startArrayOp(op Op, addrs []Addr, d Done) {
+	if d == nil {
+		panic("nand: nil done receiver")
+	}
+	if len(addrs) == 0 {
+		d.OnNandDone(0, fmt.Errorf("nand: %v with no addresses", op))
+		return
 	}
 	if len(addrs) > 1 {
 		if err := pk.validateMultiPlane(op, addrs); err != nil {
-			done(0, err)
+			d.OnNandDone(0, err)
 			return
 		}
 		pk.stats.MultiPlane++
 	} else if err := pk.checkAddr(addrs[0]); err != nil {
-		done(0, err)
+		d.OnNandDone(0, err)
 		return
 	}
 
-	d := pk.dies[addrs[0].Die]
-	issued := pk.eng.Now()
-	d.res.Acquire(func(simx.Time) {
-		// State-machine checks run once the die is granted, so queued
-		// sequential programs see the state their predecessors committed.
-		if err := pk.checkState(op, addrs); err != nil {
-			d.res.Release()
-			done(0, err)
-			return
-		}
-		texe := pk.execTime(op, addrs, d)
-		pk.eng.Schedule(texe, func() {
-			pk.commit(op, addrs, d)
-			pk.stats.BusyNS += texe
-			d.res.Release()
-			// Report device-observed execution time including any die
-			// queueing: callers use it for laggard accounting.
-			done(pk.eng.Now()-issued, nil)
-		})
-	})
+	st := pk.newOp(op, addrs, d)
+	st.die.res.AcquireG(st, 0)
 }
 
 func (pk *Package) checkState(op Op, addrs []Addr) error {

@@ -29,6 +29,23 @@ type Receiver interface {
 	Receive(pkt *Packet, from *Link)
 }
 
+// Accepted is notified when a packet wins a credit and leaves the
+// sender's buffer — the moment an upstream device can free its own
+// ingress entry. It is an interface rather than a func so hot callers
+// (switches, the RC, the endpoints) can hand in pooled per-packet state
+// without allocating a closure per hop.
+type Accepted interface {
+	OnLinkAccepted(pkt *Packet)
+}
+
+// AcceptedFunc adapts a plain function to Accepted for cold paths and
+// tests. The conversion allocates; do not use it on the per-request
+// hot path.
+type AcceptedFunc func(pkt *Packet)
+
+// OnLinkAccepted implements Accepted.
+func (f AcceptedFunc) OnLinkAccepted(pkt *Packet) { f(pkt) }
+
 // Link is one direction of a dual-simplex PCI-E connection. The sender
 // serialises packets onto the wire; the receiver advertises a fixed
 // number of virtual-channel buffer credits. With no credit available,
@@ -46,7 +63,8 @@ type Link struct {
 	maxCred int
 	dst     Receiver
 
-	sendQ []*pendingSend
+	sendQ  []*pendingSend
+	freePS *pendingSend // recycled pendingSend nodes
 
 	// Statistics.
 	packets     uint64
@@ -55,10 +73,71 @@ type Link struct {
 	maxSendQ    int
 }
 
+// pendingSend is the pooled per-packet transmission state: it queues
+// for a credit, acquires the wire (simx.Grantee), and carries the
+// packet through the serialisation and propagation events
+// (simx.Handler) before returning to the link's free-list.
 type pendingSend struct {
+	l        *Link
 	pkt      *Packet
 	queued   simx.Time
-	accepted func()
+	accepted Accepted
+	xfer     simx.Time
+	next     *pendingSend
+	ck       simx.PoolCheck
+}
+
+// pendingSend event phases.
+const (
+	psXferDone uint64 = iota // wire serialisation finished
+	psDeliver                // propagation finished; hand to receiver
+)
+
+// OnGrant implements simx.Grantee: the local wire is ours.
+func (ps *pendingSend) OnGrant(arg uint64, waited simx.Time) {
+	ps.pkt.WireWait += waited
+	ps.xfer = ps.l.TransferTime(ps.pkt.Payload)
+	ps.l.eng.ScheduleEvent(ps.xfer, ps, psXferDone)
+}
+
+// OnEvent implements simx.Handler for the transmission phases.
+func (ps *pendingSend) OnEvent(arg uint64) {
+	l := ps.l
+	switch arg {
+	case psXferDone:
+		l.wire.Release()
+		ps.pkt.WireTime += ps.xfer
+		l.packets++
+		l.bytes += ps.pkt.Payload + TLPOverheadBytes
+		l.eng.ScheduleEvent(l.propagation, ps, psDeliver)
+	case psDeliver:
+		pkt := ps.pkt
+		l.recyclePS(ps)
+		l.dst.Receive(pkt, l)
+	default:
+		panic("pcie: unknown pendingSend phase")
+	}
+}
+
+// newPS pops a recycled node or allocates a fresh one.
+func (l *Link) newPS(pkt *Packet, accepted Accepted) *pendingSend {
+	ps := l.freePS
+	if ps != nil {
+		l.freePS = ps.next
+		ps.ck.Checkout("pcie.pendingSend")
+		ps.next = nil
+	} else {
+		ps = &pendingSend{l: l}
+	}
+	ps.pkt, ps.queued, ps.accepted = pkt, l.eng.Now(), accepted
+	return ps
+}
+
+func (l *Link) recyclePS(ps *pendingSend) {
+	ps.pkt, ps.accepted = nil, nil
+	ps.ck.Release("pcie.pendingSend")
+	ps.next = l.freePS
+	l.freePS = ps
 }
 
 // NewLink builds a link delivering to dst with the given raw bandwidth,
@@ -98,11 +177,12 @@ func (l *Link) TransferTime(n units.Bytes) simx.Time {
 // the packet wins a credit and leaves the sender's buffer — the moment a
 // switch can free its own ingress entry. Delivery to the receiver
 // happens after wire serialisation plus propagation.
-func (l *Link) Send(pkt *Packet, accepted func()) {
+func (l *Link) Send(pkt *Packet, accepted Accepted) {
 	if pkt == nil {
 		panic("pcie: Send of nil packet")
 	}
-	ps := &pendingSend{pkt: pkt, queued: l.eng.Now(), accepted: accepted}
+	pkt.ck.InUse("pcie.Packet")
+	ps := l.newPS(pkt, accepted)
 	if l.credits > 0 {
 		l.credits--
 		l.transmit(ps)
@@ -135,21 +215,11 @@ func (l *Link) ReturnCredit() {
 
 func (l *Link) transmit(ps *pendingSend) {
 	if ps.accepted != nil {
-		ps.accepted()
+		a := ps.accepted
+		ps.accepted = nil
+		a.OnLinkAccepted(ps.pkt)
 	}
-	l.wire.Acquire(func(waited simx.Time) {
-		ps.pkt.WireWait += waited
-		xfer := l.TransferTime(ps.pkt.Payload)
-		l.eng.Schedule(xfer, func() {
-			l.wire.Release()
-			ps.pkt.WireTime += xfer
-			l.packets++
-			l.bytes += ps.pkt.Payload + TLPOverheadBytes
-			l.eng.Schedule(l.propagation, func() {
-				l.dst.Receive(ps.pkt, l)
-			})
-		})
-	})
+	l.wire.AcquireG(ps, 0)
 }
 
 // CreditsAvailable reports the sender-visible free credit count.

@@ -52,6 +52,9 @@ type Packet struct {
 	WireTime   simx.Time // serialisation time on wires
 	RouteTime  simx.Time // switch/RC routing latencies
 	QueueWait  simx.Time // time parked in device buffers (switch ingress, EP downstream)
+
+	next *Packet        // free-list link while parked in a Pool
+	ck   simx.PoolCheck // pooled-lifecycle guard; empty unless -tags simcheck
 }
 
 // StallTotal reports all time the packet spent not moving.

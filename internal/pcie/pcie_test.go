@@ -85,7 +85,7 @@ func TestLinkDelivery(t *testing.T) {
 	l := NewLink(eng, "l", 4_000_000_000, 100, 4, dst) // 4 GB/s, 100ns prop
 	pkt := &Packet{ID: 1, Kind: Completion, Payload: 4096}
 	accepted := false
-	l.Send(pkt, func() { accepted = true })
+	l.Send(pkt, AcceptedFunc(func(*Packet) { accepted = true }))
 	eng.Run()
 
 	if !accepted {

@@ -17,9 +17,97 @@ type RootComplex struct {
 	ports        []*Link   // downstream links to switches
 	deliver      func(pkt *Packet)
 
+	freeOp *rcOp // recycled routing nodes
+
 	injected   uint64
 	delivered  uint64
 	queueStall simx.Time
+}
+
+// rcOp is the pooled per-packet routing state for both directions: an
+// injected packet rides the route-latency event (simx.Handler), then
+// waits for its port to accept it (Accepted); an upstream packet rides
+// the same event type with a different phase argument.
+type rcOp struct {
+	rc         *RootComplex
+	pkt        *Packet
+	from       *Link
+	done       Accepted
+	held       simx.Time
+	credBefore simx.Time
+	next       *rcOp
+	ck         simx.PoolCheck
+}
+
+// rcOp event phases.
+const (
+	rcInjectRoute  uint64 = iota // downstream: route then Send
+	rcReceiveRoute               // upstream: route then deliver to host
+)
+
+// OnEvent implements simx.Handler for the two routing directions.
+func (n *rcOp) OnEvent(arg uint64) {
+	rc := n.rc
+	switch arg {
+	case rcInjectRoute:
+		pkt := n.pkt
+		pkt.RouteTime += rc.routeLatency
+		port := rc.route(pkt)
+		if port < 0 || port >= len(rc.ports) {
+			panic(fmt.Sprintf("pcie: RC route for %v returned bad port %d", pkt, port))
+		}
+		n.held = rc.eng.Now()
+		n.credBefore = pkt.CreditWait
+		rc.ports[port].Send(pkt, n)
+	case rcReceiveRoute:
+		pkt, from := n.pkt, n.from
+		rc.recycleOp(n)
+		pkt.RouteTime += rc.routeLatency
+		if from != nil {
+			from.ReturnCredit()
+		}
+		rc.delivered++
+		rc.deliver(pkt)
+	default:
+		panic("pcie: unknown rcOp phase")
+	}
+}
+
+// OnLinkAccepted implements Accepted: the selected port took the
+// injected packet; charge the RC queue stall and chain to the caller.
+func (n *rcOp) OnLinkAccepted(pkt *Packet) {
+	rc := n.rc
+	// Holding time excluding the port's credit wait, which the link
+	// accounts separately.
+	stall := (rc.eng.Now() - n.held) - (pkt.CreditWait - n.credBefore)
+	pkt.QueueWait += stall
+	rc.queueStall += stall
+	rc.injected++
+	done := n.done
+	rc.recycleOp(n)
+	if done != nil {
+		done.OnLinkAccepted(pkt)
+	}
+}
+
+func (rc *RootComplex) newOp(pkt *Packet) *rcOp {
+	n := rc.freeOp
+	if n != nil {
+		rc.freeOp = n.next
+		n.ck.Checkout("pcie.rcOp")
+		n.next = nil
+	} else {
+		n = &rcOp{rc: rc}
+	}
+	n.pkt = pkt
+	return n
+}
+
+func (rc *RootComplex) recycleOp(n *rcOp) {
+	n.pkt, n.from, n.done = nil, nil, nil
+	n.ck.Release("pcie.rcOp")
+	n.next = rc.freeOp
+	rc.freeOp = n
 }
 
 // NewRootComplex builds a root complex. route selects the downstream
@@ -44,41 +132,20 @@ func (rc *RootComplex) NumPorts() int { return len(rc.ports) }
 // Inject sends a host-originated packet downstream. done (optional)
 // fires when the packet is accepted onto the selected port — until then
 // it occupies the RC's internal queue, and the caller charges RC stall.
-func (rc *RootComplex) Inject(pkt *Packet, done func()) {
-	rc.eng.Schedule(rc.routeLatency, func() {
-		pkt.RouteTime += rc.routeLatency
-		port := rc.route(pkt)
-		if port < 0 || port >= len(rc.ports) {
-			panic(fmt.Sprintf("pcie: RC route for %v returned bad port %d", pkt, port))
-		}
-		held := rc.eng.Now()
-		credBefore := pkt.CreditWait
-		rc.ports[port].Send(pkt, func() {
-			// Holding time excluding the port's credit wait, which the
-			// link accounts separately.
-			stall := (rc.eng.Now() - held) - (pkt.CreditWait - credBefore)
-			pkt.QueueWait += stall
-			rc.queueStall += stall
-			rc.injected++
-			if done != nil {
-				done()
-			}
-		})
-	})
+func (rc *RootComplex) Inject(pkt *Packet, done Accepted) {
+	pkt.ck.InUse("pcie.Packet")
+	n := rc.newOp(pkt)
+	n.done = done
+	rc.eng.ScheduleEvent(rc.routeLatency, n, rcInjectRoute)
 }
 
 // Receive implements Receiver for upstream packets arriving from
 // switches: the packet is consumed into host memory after the routing
 // latency and its VC credit returns immediately thereafter.
 func (rc *RootComplex) Receive(pkt *Packet, from *Link) {
-	rc.eng.Schedule(rc.routeLatency, func() {
-		pkt.RouteTime += rc.routeLatency
-		if from != nil {
-			from.ReturnCredit()
-		}
-		rc.delivered++
-		rc.deliver(pkt)
-	})
+	n := rc.newOp(pkt)
+	n.from = from
+	rc.eng.ScheduleEvent(rc.routeLatency, n, rcReceiveRoute)
 }
 
 // Injected reports packets sent downstream.

@@ -27,9 +27,81 @@ type Switch struct {
 	up   *Link
 	down []*Link
 
+	freeF *fwd // recycled forwarding nodes
+
 	// Statistics.
 	forwarded  uint64
 	queueStall simx.Time
+}
+
+// fwd is the pooled per-packet forwarding state: it rides the
+// route-latency event (simx.Handler), then holds the ingress credit
+// until the egress link accepts the packet (Accepted).
+type fwd struct {
+	s          *Switch
+	pkt        *Packet
+	from       *Link
+	held       simx.Time
+	credBefore simx.Time
+	next       *fwd
+	ck         simx.PoolCheck
+}
+
+// OnEvent implements simx.Handler: routing latency elapsed; forward.
+func (f *fwd) OnEvent(arg uint64) {
+	s := f.s
+	pkt := f.pkt
+	pkt.RouteTime += s.routeLatency
+	port := s.route(pkt)
+	var egress *Link
+	if port == Upstream {
+		egress = s.up
+	} else if port >= 0 && port < len(s.down) {
+		egress = s.down[port]
+	}
+	if egress == nil {
+		panic(fmt.Sprintf("pcie: %s has no egress for %v (port %d)", s.name, pkt, port))
+	}
+	f.held = s.eng.Now()
+	f.credBefore = pkt.CreditWait
+	egress.Send(pkt, f)
+}
+
+// OnLinkAccepted implements Accepted: the egress took the packet, so
+// the ingress VC entry frees up.
+func (f *fwd) OnLinkAccepted(pkt *Packet) {
+	s := f.s
+	// Holding time excluding the egress credit wait (the link already
+	// accounts that in CreditWait).
+	stall := (s.eng.Now() - f.held) - (pkt.CreditWait - f.credBefore)
+	pkt.QueueWait += stall
+	s.queueStall += stall
+	s.forwarded++
+	from := f.from
+	s.recycleFwd(f)
+	if from != nil {
+		from.ReturnCredit()
+	}
+}
+
+func (s *Switch) newFwd(pkt *Packet, from *Link) *fwd {
+	f := s.freeF
+	if f != nil {
+		s.freeF = f.next
+		f.ck.Checkout("pcie.fwd")
+		f.next = nil
+	} else {
+		f = &fwd{s: s}
+	}
+	f.pkt, f.from = pkt, from
+	return f
+}
+
+func (s *Switch) recycleFwd(f *fwd) {
+	f.pkt, f.from = nil, nil
+	f.ck.Release("pcie.fwd")
+	f.next = s.freeF
+	s.freeF = f
 }
 
 // NewSwitch builds a switch. Links are attached afterwards with
@@ -67,32 +139,7 @@ func (s *Switch) QueueStallNS() simx.Time { return s.queueStall }
 // Receive implements Receiver: route after the switching latency, then
 // forward; the ingress credit is returned when the egress accepts.
 func (s *Switch) Receive(pkt *Packet, from *Link) {
-	s.eng.Schedule(s.routeLatency, func() {
-		pkt.RouteTime += s.routeLatency
-		port := s.route(pkt)
-		var egress *Link
-		if port == Upstream {
-			egress = s.up
-		} else if port >= 0 && port < len(s.down) {
-			egress = s.down[port]
-		}
-		if egress == nil {
-			panic(fmt.Sprintf("pcie: %s has no egress for %v (port %d)", s.name, pkt, port))
-		}
-		held := s.eng.Now()
-		credBefore := pkt.CreditWait
-		egress.Send(pkt, func() {
-			// Holding time excluding the egress credit wait (the link
-			// already accounts that in CreditWait).
-			stall := (s.eng.Now() - held) - (pkt.CreditWait - credBefore)
-			pkt.QueueWait += stall
-			s.queueStall += stall
-			s.forwarded++
-			if from != nil {
-				from.ReturnCredit()
-			}
-		})
-	})
+	s.eng.ScheduleEvent(s.routeLatency, s.newFwd(pkt, from), 0)
 }
 
 var _ Receiver = (*Switch)(nil)

@@ -44,14 +44,33 @@ func (t Time) String() string {
 // Micros reports t as a floating-point number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// Event is a scheduled callback. It is returned by Schedule/At so the
-// caller can cancel it before it fires.
+// Handler is a typed event receiver — the zero-allocation alternative
+// to a closure. The engine pre-binds a Handler plus one integer
+// argument into a pooled Event node; when the event fires, OnEvent runs
+// with that argument. Hot-path models store their per-operation state
+// in pooled structs that implement Handler (the interface holds only a
+// pointer, so the conversion never allocates) and use arg as a phase
+// discriminator.
+type Handler interface {
+	OnEvent(arg uint64)
+}
+
+// Event is a scheduled callback. Closure events (Schedule/At) are
+// returned to the caller so they can be cancelled before firing; typed
+// events (ScheduleEvent/AtEvent) are engine-owned pooled nodes that are
+// recycled onto an intrusive free-list the moment they fire, so the
+// steady-state hot path schedules without allocating.
 type Event struct {
 	when   Time
 	seq    uint64
-	fn     func()
+	fn     func()  // closure path; nil for typed events
+	h      Handler // typed path; nil for closure events
+	arg    uint64
 	index  int // heap index; -1 once popped or cancelled
 	cancel bool
+	pooled bool   // recycled after firing; never handed to callers
+	next   *Event // free-list link while recycled
+	ck     ckLife // pooled-lifecycle guard; empty unless -tags simcheck
 }
 
 // When reports the instant the event will fire.
@@ -94,6 +113,8 @@ type Engine struct {
 	seq     uint64
 	running bool
 	fired   uint64
+	free    *Event // recycled typed-event nodes (intrusive free-list)
+	freeLen int
 	ck      ckState // empty unless built with -tags simcheck
 }
 
@@ -137,6 +158,59 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	return ev
 }
 
+// ScheduleEvent arranges for h.OnEvent(arg) to run delay nanoseconds
+// from now on a pooled event node. Typed events cannot be cancelled:
+// the node is engine-owned and recycled the instant it fires.
+func (e *Engine) ScheduleEvent(delay Time, h Handler, arg uint64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("simx: negative delay %v", delay))
+	}
+	e.AtEvent(e.now+delay, h, arg)
+}
+
+// AtEvent is ScheduleEvent at an absolute time t (>= Now).
+func (e *Engine) AtEvent(t Time, h Handler, arg uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("simx: scheduling at %v before now %v", t, e.now))
+	}
+	if h == nil {
+		panic("simx: nil event handler")
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		e.freeLen--
+		if simcheckEnabled {
+			ev.ck.Checkout("simx.Event")
+		}
+		ev.next = nil
+		ev.cancel = false
+	} else {
+		ev = &Event{pooled: true}
+	}
+	e.seq++
+	ev.when, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
+	heap.Push(&e.events, ev)
+	if simcheckEnabled {
+		e.ckSchedule(ev)
+	}
+}
+
+// recycle pushes a fired typed-event node back onto the free-list.
+func (e *Engine) recycle(ev *Event) {
+	if simcheckEnabled {
+		ev.ck.Release("simx.Event")
+	}
+	ev.h = nil
+	ev.next = e.free
+	e.free = ev
+	e.freeLen++
+}
+
+// EventPoolFree reports how many recycled event nodes are idle — the
+// steady-state footprint of the typed-event path (tests and diagnostics).
+func (e *Engine) EventPoolFree() int { return e.freeLen }
+
 // Cancel prevents a scheduled event from firing. Cancelling an event
 // that already fired or was already cancelled is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -166,6 +240,14 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.when
 		e.fired++
+		if ev.pooled {
+			// Recycle before invoking: the handler usually schedules its
+			// next hop immediately, reusing this hot node.
+			h, arg := ev.h, ev.arg
+			e.recycle(ev)
+			h.OnEvent(arg)
+			return true
+		}
 		ev.fn()
 		return true
 	}

@@ -18,6 +18,7 @@ type Resource struct {
 	waitHead *waiter
 	waitTail *waiter
 	waitLen  int
+	freeW    *waiter // recycled waiter nodes
 
 	// busy-time integral bookkeeping
 	busyNS     Time // accumulated (inUse>0) busy nanoseconds for capacity-1 semantics
@@ -30,10 +31,20 @@ type Resource struct {
 	maxQueue  int
 }
 
+// Grantee is the typed counterpart of Acquire's callback — pooled
+// per-operation states implement it so queueing for a slot allocates
+// nothing. arg is echoed back as a phase discriminator.
+type Grantee interface {
+	OnGrant(arg uint64, waited Time)
+}
+
 type waiter struct {
-	fn      func(waited Time)
+	fn      func(waited Time) // closure path; nil for typed waiters
+	g       Grantee           // typed path
+	arg     uint64
 	arrived Time
 	next    *waiter
+	ck      ckLife
 }
 
 // NewResource returns a resource with the given slot count (>=1).
@@ -74,14 +85,59 @@ func (r *Resource) Acquire(fn func(waited Time)) {
 	if fn == nil {
 		panic("simx: nil acquire func")
 	}
-	if r.inUse < r.capacity {
-		r.integrate()
-		r.inUse++
-		r.grants++
+	if r.grantNow() {
 		fn(0)
 		return
 	}
-	w := &waiter{fn: fn, arrived: r.eng.Now()}
+	w := r.newWaiter()
+	w.fn = fn
+	r.enqueue(w)
+}
+
+// AcquireG is the typed, allocation-free Acquire: g.OnGrant(arg, waited)
+// runs synchronously if a slot is free, otherwise when one frees up.
+// Queued waiters live on pooled nodes recycled at grant time.
+func (r *Resource) AcquireG(g Grantee, arg uint64) {
+	if g == nil {
+		panic("simx: nil acquire grantee")
+	}
+	if r.grantNow() {
+		g.OnGrant(arg, 0)
+		return
+	}
+	w := r.newWaiter()
+	w.g, w.arg = g, arg
+	r.enqueue(w)
+}
+
+// grantNow takes a free slot if available, reporting success.
+func (r *Resource) grantNow() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.integrate()
+	r.inUse++
+	r.grants++
+	return true
+}
+
+// newWaiter pops a recycled waiter node or allocates a fresh one.
+func (r *Resource) newWaiter() *waiter {
+	w := r.freeW
+	if w != nil {
+		r.freeW = w.next
+		if simcheckEnabled {
+			w.ck.Checkout("simx.waiter")
+		}
+		w.next = nil
+	} else {
+		w = &waiter{}
+	}
+	w.arrived = r.eng.Now()
+	return w
+}
+
+func (r *Resource) enqueue(w *waiter) {
 	if r.waitTail == nil {
 		r.waitHead = w
 	} else {
@@ -125,7 +181,20 @@ func (r *Resource) Release() {
 	r.grants++
 	waited := r.eng.Now() - w.arrived
 	r.totalWait += waited
-	w.fn(waited)
+	// Recycle the node before invoking: the grantee often re-queues
+	// immediately and reuses it.
+	fn, g, arg := w.fn, w.g, w.arg
+	w.fn, w.g = nil, nil
+	if simcheckEnabled {
+		w.ck.Release("simx.waiter")
+	}
+	w.next = r.freeW
+	r.freeW = w
+	if g != nil {
+		g.OnGrant(arg, waited)
+		return
+	}
+	fn(waited)
 }
 
 // BusyNS reports the accumulated time during which at least one slot was

@@ -12,3 +12,25 @@ type ckState struct{}
 func (e *Engine) ckSchedule(ev *Event) {}
 func (e *Engine) ckStep(ev *Event)     {}
 func (e *Engine) ckCancel(ev *Event)   {}
+
+// PoolCheck is the pooled-object lifecycle guard. Pooled types (Event
+// nodes here, pcie.Packet, cluster.Command, ...) embed one and their
+// pools call Checkout/Release around free-list traffic; hot entry
+// points call InUse. Without the simcheck tag it is an empty struct
+// with no-op methods, so the guard compiles away entirely.
+type PoolCheck struct{}
+
+// Checkout marks the object as taken from its pool's free-list.
+func (*PoolCheck) Checkout(what string) {}
+
+// Release marks the object as returned to its pool; a second Release
+// without an intervening Checkout is a double-free (panics under
+// -tags simcheck).
+func (*PoolCheck) Release(what string) {}
+
+// InUse asserts the object has not been released (panics on
+// use-after-release under -tags simcheck).
+func (*PoolCheck) InUse(what string) {}
+
+// ckLife is the engine-internal alias for the guard.
+type ckLife = PoolCheck

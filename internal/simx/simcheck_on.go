@@ -20,6 +20,41 @@ type ckState struct {
 	ops uint64
 }
 
+// PoolCheck is the pooled-object lifecycle guard (see simcheck_off.go
+// for the no-op build). It tracks whether the embedding object is
+// currently on its pool's free-list and panics on double-release and
+// use-after-release — the two bugs an intrusive free-list can smuggle
+// past the type system.
+type PoolCheck struct {
+	freed bool
+}
+
+// Checkout marks the object as taken from its pool's free-list.
+func (c *PoolCheck) Checkout(what string) {
+	if !c.freed {
+		panic("simcheck: " + what + ": free-list holds an object that was never released")
+	}
+	c.freed = false
+}
+
+// Release marks the object as returned to its pool.
+func (c *PoolCheck) Release(what string) {
+	if c.freed {
+		panic("simcheck: " + what + ": double release of pooled object")
+	}
+	c.freed = true
+}
+
+// InUse asserts the object has not been released.
+func (c *PoolCheck) InUse(what string) {
+	if c.freed {
+		panic("simcheck: " + what + ": use of object after release to its pool")
+	}
+}
+
+// ckLife is the engine-internal alias for the guard.
+type ckLife = PoolCheck
+
 // ckSchedule validates a newly pushed event and periodically sweeps
 // the whole heap.
 func (e *Engine) ckSchedule(ev *Event) {
