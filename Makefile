@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list vet check clean bench-json bench-compare
+.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,10 @@ race:
 	$(GO) test -race ./...
 
 # Runtime invariant checks (event-time monotonicity, FTL bijectivity,
-# cluster queue conservation) compiled in via the simcheck build tag.
+# cluster queue conservation, pooled-object lifecycle + leak ledger)
+# compiled in via the simcheck build tag. Includes the seed-42 golden
+# replay, so a leaked pooled object anywhere in a full run fails here
+# with its pool's name.
 simcheck:
 	$(GO) test -tags simcheck ./internal/...
 
@@ -39,6 +42,12 @@ lint-fix-list:
 vet:
 	$(GO) vet ./...
 
+# gofmt cleanliness: fails listing any file that gofmt would rewrite
+# (testdata fixtures included — they are parsed Go like everything else).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # One pass over every figure/table benchmark with allocation stats,
 # serialised to JSON (see docs/performance.md). BENCH_PR3.json is the
 # committed baseline the CI bench smoke job compares against.
@@ -51,7 +60,7 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json -against $(BENCH_JSON)
 
-check: build vet lint test race simcheck
+check: build fmt-check vet lint test race simcheck
 
 clean:
 	rm -rf bin

@@ -284,6 +284,10 @@ func (a *Array) ensureMapped(lpn int64) error {
 // Run replays a trace to completion and returns the recorder. The
 // trace must be sorted by arrival time.
 func (a *Array) Run(reqs []trace.Request) (*metrics.Recorder, error) {
+	// Snapshot the simcheck leak ledger so the end-of-run drain check
+	// below compares against whatever other engines in this process
+	// already hold. Without -tags simcheck both calls are no-ops.
+	drainSnap := simx.SnapshotLedger()
 	if err := a.Prepare(reqs); err != nil {
 		return nil, err
 	}
@@ -296,6 +300,13 @@ func (a *Array) Run(reqs []trace.Request) (*metrics.Recorder, error) {
 	a.eng.Run()
 	if a.inFlight != 0 {
 		return nil, fmt.Errorf("array: %d requests still in flight after drain", a.inFlight)
+	}
+	// Every pooled object minted during the run (events, waiters,
+	// packets, commands, request/pageRef nodes, device op states) must
+	// be back on its free-list now; a leak fails the run with the
+	// pool's name and outstanding count.
+	if err := simx.AssertDrained(drainSnap); err != nil {
+		return nil, err
 	}
 	return a.recorder, nil
 }
@@ -392,6 +403,7 @@ func (a *Array) newReq() *request {
 		*r = request{arr: a}
 	} else {
 		r = &request{arr: a}
+		r.ck.Fresh("array.request")
 	}
 	return r
 }
@@ -410,6 +422,7 @@ func (a *Array) newRef(req *request, lpn int64) *pageRef {
 		*ref = pageRef{arr: a}
 	} else {
 		ref = &pageRef{arr: a}
+		ref.ck.Fresh("array.pageRef")
 	}
 	ref.req, ref.lpn = req, lpn
 	return ref
@@ -453,7 +466,11 @@ func (a *Array) Submit(r trace.Request) {
 		panic(err)
 	}
 	a.nextReqID++
-	req := a.newReq()
+	// Ownership passes to the per-page continuations minted below; the
+	// page loop runs at least once (Validate rejects Pages < 1), so the
+	// zero-iteration leak path poolsafe sees cannot execute.
+	req := a.newReq() //simlint:handoff every request has >= 1 page; each page's ref/event owns req
+
 	req.id = a.nextReqID
 	req.op, req.lpn, req.pages = r.Op, r.LPN, r.Pages
 	req.submit = a.eng.Now()

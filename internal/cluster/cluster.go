@@ -210,19 +210,19 @@ func (c *Command) SetPageAddr(a nand.Addr) {
 
 // Grant-phase discriminators (simx.Grantee arg).
 const (
-	gHAL      uint64 = iota // HAL logic granted (read and buffer-hit paths)
-	gStageHit               // staging granted for a buffer-hit read
-	gStageRead              // staging granted on the read upstream path
-	gBusRead                // shared bus granted on the read upstream path
-	gWBuf                   // write-buffer entry granted
-	gBusFlush               // shared bus granted for a write flush
+	gHAL       uint64 = iota // HAL logic granted (read and buffer-hit paths)
+	gStageHit                // staging granted for a buffer-hit read
+	gStageRead               // staging granted on the read upstream path
+	gBusRead                 // shared bus granted on the read upstream path
+	gWBuf                    // write-buffer entry granted
+	gBusFlush                // shared bus granted for a write flush
 )
 
 // Event-phase discriminators (simx.Handler arg).
 const (
-	hHALDone  uint64 = iota // HAL construction latency elapsed
-	hReadXfer               // read data crossed the shared bus
-	hFlushXfer              // write data crossed the shared bus
+	hHALDone   uint64 = iota // HAL construction latency elapsed
+	hReadXfer                // read data crossed the shared bus
+	hFlushXfer               // write data crossed the shared bus
 )
 
 // OnGrant implements simx.Grantee: one of the endpoint's resources is ours.

@@ -14,7 +14,9 @@ type CommandPool struct {
 func (p *CommandPool) Get() *Command {
 	c := p.free
 	if c == nil {
-		return &Command{}
+		c = &Command{}
+		c.ck.Fresh("cluster.Command")
+		return c
 	}
 	p.free = c.next
 	p.freeLen--

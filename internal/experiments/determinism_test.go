@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"triplea/internal/simx"
 	"triplea/internal/workload"
 )
 
@@ -84,11 +85,19 @@ const (
 // and say so in the commit message; if this fails on a "pure
 // refactor", the refactor reordered events and must be fixed instead.
 func TestGoldenReplay(t *testing.T) {
+	// Under -tags simcheck, every Array.Run inside serializeRun asserts
+	// the per-pool leak ledger drained; this snapshot extends the same
+	// check across the whole replay, so a pooled object leaked anywhere
+	// in the seed-42 run fails here with its pool's name.
+	drainSnap := simx.SnapshotLedger()
 	out := serializeRun(t, goldenSeed)
 	sum := sha256.Sum256([]byte(out))
 	got := hex.EncodeToString(sum[:])
 	if len(out) != goldenOutputLen || got != goldenSHA256 {
 		t.Fatalf("run diverged from pre-refactor golden bytes:\n  got  sha256=%s len=%d\n  want sha256=%s len=%d",
 			got, len(out), goldenSHA256, goldenOutputLen)
+	}
+	if err := simx.AssertDrained(drainSnap); err != nil {
+		t.Fatalf("seed-%d golden run leaked pooled objects: %v", goldenSeed, err)
 	}
 }

@@ -222,6 +222,7 @@ func (f *FIMM) newOp(op nand.Op, pkg int, addrs []nand.Addr, d Done) *fop {
 		st.next = nil
 	} else {
 		st = &fop{f: f}
+		st.ck.Fresh("fimm.fop")
 	}
 	st.op, st.pkg, st.addrs, st.d = op, pkg, addrs, d
 	st.wait, st.cell, st.chW, st.xfer = 0, 0, 0, 0

@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Poolsafe, "ps")
+}
+
+func TestPoolsafeExemptMachinery(t *testing.T) {
+	// The fake pool package implements the registered acquire/release
+	// pair; the free-list internals must produce no findings.
+	analysistest.Run(t, "testdata", analyzers.Poolsafe, "triplea/internal/pcie")
+}

@@ -1,0 +1,50 @@
+// Package pcie is a miniature stand-in for the repository's real
+// internal/pcie, giving poolsafe fixtures the pooled Packet type, the
+// Pool acquire/release pair, and the Link.Send handoff sink the
+// analyzer's tables key on (registration matches by path suffix, so
+// this fake registers alongside the real package).
+package pcie
+
+// Packet is the pooled object. Meta is the continuation field the
+// poolsafe allowlist sanctions.
+type Packet struct {
+	next *Packet
+	Kind int
+	Addr uint64
+	Meta any
+}
+
+// Pool is an intrusive free-list. Get and Put are registered as the
+// pcie.Packet acquire and release; their bodies are pool machinery and
+// exempt from the ownership rules.
+type Pool struct{ free *Packet }
+
+func (p *Pool) Get() *Packet {
+	pkt := p.free
+	if pkt == nil {
+		return &Packet{}
+	}
+	p.free = pkt.next
+	*pkt = Packet{}
+	return pkt
+}
+
+func (p *Pool) Put(pkt *Packet) {
+	pkt.Meta = nil
+	pkt.next = p.free
+	p.free = pkt
+}
+
+// Receiver and Link.Send mirror the real transport surface; Send and
+// Receive are registered handoff sinks.
+type Receiver interface {
+	Receive(pkt *Packet, from *Link)
+}
+
+type Link struct{ dst Receiver }
+
+func (l *Link) Send(pkt *Packet, accepted func(bool)) {
+	if l.dst != nil {
+		l.dst.Receive(pkt, l)
+	}
+}

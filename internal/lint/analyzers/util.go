@@ -168,5 +168,6 @@ func All() []*analysis.Analyzer {
 		Units,
 		Exhaustive,
 		Nospawn,
+		Poolsafe,
 	}
 }

@@ -1,0 +1,540 @@
+// Package ctrlflow builds intra-procedural control-flow graphs over Go
+// syntax, mirroring the API shape of golang.org/x/tools/go/cfg with
+// only the standard library (the repository deliberately has no
+// third-party module requirements; see internal/lint/analysis). It
+// exists for the poolsafe analyzer, whose ownership rules are "on
+// every path out of the function" properties and therefore need paths,
+// not just syntax.
+//
+// The graph is statement-granular: each basic block carries the
+// statements (and branch condition expressions) that execute in order
+// when control enters it, and the successor blocks control may reach
+// afterwards. Function literals nested inside the body are NOT
+// expanded into the enclosing graph — a closure body runs at some
+// other time; callers build a separate CFG per FuncLit.
+//
+// Termination: a block with no successors ends the function. That
+// happens at a return statement, at a call the mayReturn callback
+// rejects (panic, os.Exit, ...), and at the fall-off-the-end exit. Use
+// Block.Returns to distinguish a normal exit from a no-return one when
+// checking "on every path to a return" properties.
+package ctrlflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block. Blocks unreachable from the entry keep Live == false.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Block is one basic block: Nodes execute in order, then control moves
+// to one of Succs. A block with no successors terminates the function
+// — normally (Returns == true: a return statement or falling off the
+// end of the body) or abnormally (Returns == false: the block ends in
+// a call that never returns, like panic).
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+
+	Index   int32 // index within CFG.Blocks
+	Live    bool  // reachable from the entry block
+	Returns bool  // terminal block that exits the function normally
+}
+
+// New builds the CFG of body. mayReturn reports whether a call
+// expression can return to its caller; passing nil treats every call
+// as returning. A call that cannot return terminates its block.
+func New(body *ast.BlockStmt, mayReturn func(*ast.CallExpr) bool) *CFG {
+	if mayReturn == nil {
+		mayReturn = func(*ast.CallExpr) bool { return true }
+	}
+	b := &builder{mayReturn: mayReturn, labels: make(map[string]*labelInfo)}
+	entry := b.newBlock()
+	b.current = entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	if b.current != nil {
+		b.current.Returns = true
+		b.current = nil
+	}
+	b.markLive(entry)
+	return b.cfg()
+}
+
+// labelInfo tracks one label's target blocks: the labeled statement's
+// own entry (for goto) and, when the labeled statement is a loop or
+// switch, its break/continue targets.
+type labelInfo struct {
+	entry      *Block // the labeled statement itself (goto target)
+	breakTo    *Block
+	continueTo *Block
+	used       bool
+}
+
+// targets is the innermost break/continue destination pair, stacked.
+type targets struct {
+	outer      *targets
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select (continue skips them)
+	label      string // non-empty when the construct is labeled
+}
+
+type builder struct {
+	blocks        []*Block
+	current       *Block // nil while control is unreachable
+	targets       *targets
+	labels        map[string]*labelInfo
+	fallthroughTo *Block // next case-clause body while building a switch
+	mayReturn     func(*ast.CallExpr) bool
+}
+
+func (b *builder) cfg() *CFG { return &CFG{Blocks: b.blocks} }
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: int32(len(b.blocks))}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// jump links the current block to dst and leaves control unreachable.
+func (b *builder) jump(dst *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, dst)
+	}
+	b.current = nil
+}
+
+// startBlock makes dst current, linking it from the previous current
+// block if control can fall through into it.
+func (b *builder) startBlock(dst *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, dst)
+	}
+	b.current = dst
+}
+
+// add appends a node to the current block (dropped when unreachable).
+func (b *builder) add(n ast.Node) {
+	if b.current != nil && n != nil {
+		b.current.Nodes = append(b.current.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		if b.current == nil {
+			return
+		}
+		cond := b.current
+		then := b.newBlock()
+		done := b.newBlock()
+		cond.Succs = append(cond.Succs, then)
+		b.current = then
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			els := b.newBlock()
+			cond.Succs = append(cond.Succs, els)
+			b.current = els
+			b.stmt(s.Else)
+			b.jump(done)
+		} else {
+			cond.Succs = append(cond.Succs, done)
+		}
+		b.current = done
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.current != nil {
+			b.current.Returns = true
+			b.current = nil
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		b.checkNoReturn(s.X)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// checkNoReturn terminates the block when the statement's outermost
+// expression is a call that cannot return.
+func (b *builder) checkNoReturn(e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || b.current == nil {
+		return
+	}
+	if !b.mayReturn(call) {
+		b.current = nil // terminal, and not a normal return
+	}
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.entry == nil {
+		li.entry = b.newBlock()
+	}
+	b.startBlock(li.entry)
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		b.stmt(s.Stmt)
+	}
+	// break <label> on a non-loop labeled statement jumps past it.
+	if li.breakTo != nil && li.continueTo == nil && li.used {
+		done := li.breakTo
+		b.startBlock(done)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+				b.jump(li.breakTo)
+				return
+			}
+			// break to a label of a plain (non-loop) labeled statement:
+			// allocate its break target lazily.
+			li := b.labels[s.Label.Name]
+			if li == nil {
+				li = &labelInfo{}
+				b.labels[s.Label.Name] = li
+			}
+			if li.breakTo == nil {
+				li.breakTo = b.newBlock()
+			}
+			li.used = true
+			b.jump(li.breakTo)
+			return
+		}
+		for t := b.targets; t != nil; t = t.outer {
+			if t.breakTo != nil {
+				b.jump(t.breakTo)
+				return
+			}
+		}
+		b.current = nil
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.continueTo != nil {
+				b.jump(li.continueTo)
+				return
+			}
+			b.current = nil
+			return
+		}
+		for t := b.targets; t != nil; t = t.outer {
+			if t.continueTo != nil {
+				b.jump(t.continueTo)
+				return
+			}
+		}
+		b.current = nil
+	case token.GOTO:
+		if s.Label != nil {
+			li := b.labels[s.Label.Name]
+			if li == nil {
+				li = &labelInfo{}
+				b.labels[s.Label.Name] = li
+			}
+			if li.entry == nil {
+				li.entry = b.newBlock()
+			}
+			b.jump(li.entry)
+			return
+		}
+		b.current = nil
+	case token.FALLTHROUGH:
+		// Handled by switchStmt via fallthroughTo; a stray fallthrough
+		// (invalid Go) just ends the block.
+		if b.fallthroughTo != nil {
+			b.jump(b.fallthroughTo)
+			return
+		}
+		b.current = nil
+	}
+}
+
+func (b *builder) pushTargets(breakTo, continueTo *Block, label string) {
+	b.targets = &targets{outer: b.targets, breakTo: breakTo, continueTo: continueTo, label: label}
+}
+
+func (b *builder) popTargets() { b.targets = b.targets.outer }
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	done := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	b.registerLoopLabel(label, head, done, post)
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		if b.current != nil {
+			b.current.Succs = append(b.current.Succs, done)
+		}
+	}
+	bodyBlk := b.newBlock()
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, bodyBlk)
+	}
+	b.current = bodyBlk
+	b.pushTargets(done, post, label)
+	b.stmt(s.Body)
+	b.popTargets()
+	b.jump(post)
+	if s.Post != nil {
+		b.current = post
+		b.stmt(s.Post)
+		b.jump(head)
+	}
+	b.current = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.newBlock()
+	done := b.newBlock()
+	b.registerLoopLabel(label, head, done, head)
+	b.startBlock(head)
+	// The loop may execute zero times: head branches to done and body.
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, done)
+	}
+	bodyBlk := b.newBlock()
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, bodyBlk)
+	}
+	b.current = bodyBlk
+	// Key/Value assignment happens on each iteration.
+	if s.Key != nil {
+		b.add(s.Key)
+	}
+	if s.Value != nil {
+		b.add(s.Value)
+	}
+	b.pushTargets(done, head, label)
+	b.stmt(s.Body)
+	b.popTargets()
+	b.jump(head)
+	b.current = done
+}
+
+// registerLoopLabel wires an enclosing label's break/continue targets.
+func (b *builder) registerLoopLabel(label string, head, done, post *Block) {
+	if label == "" {
+		return
+	}
+	li := b.labels[label]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[label] = li
+	}
+	li.breakTo, li.continueTo = done, post
+	_ = head
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, 0, len(cc.List))
+		for _, e := range cc.List {
+			nodes = append(nodes, e)
+		}
+		return nodes
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses builds the shared switch shape: the tag block branches to
+// every clause body (and past the switch when there is no default).
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, guards func(*ast.CaseClause) []ast.Node) {
+	if b.current == nil {
+		return
+	}
+	tag := b.current
+	done := b.newBlock()
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.breakTo = done
+	}
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, st := range body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	// Pre-allocate each clause's body block so fallthrough can target
+	// the next one.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cc := range clauses {
+		tag.Succs = append(tag.Succs, bodies[i])
+		b.current = bodies[i]
+		for _, g := range guards(cc) {
+			b.add(g)
+		}
+		var ft *Block
+		if i+1 < len(bodies) {
+			ft = bodies[i+1]
+		}
+		saved := b.fallthroughTo
+		b.fallthroughTo = ft
+		b.pushTargets(done, nil, label)
+		b.stmtList(cc.Body)
+		b.popTargets()
+		b.fallthroughTo = saved
+		b.jump(done)
+	}
+	if !hasDefault {
+		tag.Succs = append(tag.Succs, done)
+	}
+	b.current = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	if b.current == nil {
+		return
+	}
+	tag := b.current
+	done := b.newBlock()
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.breakTo = done
+	}
+	hasDefault := false
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		tag.Succs = append(tag.Succs, blk)
+		b.current = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.pushTargets(done, nil, label)
+		b.stmtList(cc.Body)
+		b.popTargets()
+		b.jump(done)
+	}
+	// A select with no default blocks until a case fires; control never
+	// skips the body, but for analysis purposes the distinction does
+	// not matter: done is only reachable through a clause.
+	_ = hasDefault
+	b.current = done
+}
+
+// markLive flags every block reachable from entry.
+func (b *builder) markLive(entry *Block) {
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(entry)
+}

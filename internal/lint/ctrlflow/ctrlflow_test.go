@@ -1,0 +1,357 @@
+package ctrlflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src (a file containing one function f) and returns
+// the CFG of f's body.
+func buildFunc(t *testing.T, src string, mayReturn func(*ast.CallExpr) bool) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body, mayReturn)
+		}
+	}
+	t.Fatal("no function f in source")
+	return nil
+}
+
+// liveReturns counts reachable blocks that exit the function normally.
+func liveReturns(g *CFG) int {
+	n := 0
+	for _, b := range g.Blocks {
+		if b.Live && b.Returns {
+			n++
+		}
+	}
+	return n
+}
+
+// hasCycle reports whether the graph has a reachable back edge.
+func hasCycle(g *CFG) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Block]int)
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		color[b] = grey
+		for _, s := range b.Succs {
+			switch color[s] {
+			case grey:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	if len(g.Blocks) == 0 {
+		return false
+	}
+	return visit(g.Blocks[0])
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() { x := 1; _ = x }`, nil)
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("straight-line function: %d live returning blocks, want 1", got)
+	}
+	if hasCycle(g) {
+		t.Fatal("straight-line function has a cycle")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, nil)
+	// Two return statements, each terminating its own block.
+	if got := liveReturns(g); got != 2 {
+		t.Fatalf("if/return function: %d live returning blocks, want 2", got)
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	x := 0
+	if c {
+		x = 1
+	}
+	_ = x
+}`, nil)
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("if-no-else: %d live returning blocks, want 1", got)
+	}
+	// The condition block must have two successors (then, join).
+	var cond *Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no two-way branch block found for if without else")
+	}
+}
+
+func TestForLoopHasBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}`, nil)
+	if !hasCycle(g) {
+		t.Fatal("for loop produced no cycle")
+	}
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("for loop: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestRangeLoopZeroIterationPath(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		_ = x
+	}
+}`, nil)
+	if !hasCycle(g) {
+		t.Fatal("range loop produced no cycle")
+	}
+	// The exit must be reachable without entering the body: the head
+	// block has both the body and the done block as successors.
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("range loop: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		if x < 0 {
+			break
+		}
+	}
+}`, nil)
+	if !hasCycle(g) {
+		t.Fatal("loop with continue lost its back edge")
+	}
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("break/continue: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestSwitchBranchesRejoin(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 1
+	case 2:
+		x++
+	default:
+		x--
+	}
+	return x
+}`, nil)
+	if got := liveReturns(g); got != 2 {
+		t.Fatalf("switch: %d live returning blocks, want 2", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y = 2
+	}
+	return y
+}`, nil)
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("fallthrough switch: %d live returning blocks, want 1", got)
+	}
+	// Case-1's body must have case-2's body as a successor: find a
+	// block whose nodes include the fallthrough statement.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if len(b.Succs) == 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fallthrough block does not jump to the next case body")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x any) int {
+	switch x.(type) {
+	case int:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}`, nil)
+	if got := liveReturns(g); got != 3 {
+		t.Fatalf("type switch: %d live returning blocks, want 3", got)
+	}
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	noReturn := func(c *ast.CallExpr) bool {
+		id, ok := c.Fun.(*ast.Ident)
+		return !(ok && id.Name == "panic")
+	}
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if !c {
+		panic("no")
+	}
+	return 1
+}`, noReturn)
+	// The panic block terminates abnormally: exactly one normal return.
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("panic path: %d live returning blocks, want 1", got)
+	}
+	// And some live block must be terminal without Returns (the panic).
+	abnormal := 0
+	for _, b := range g.Blocks {
+		if b.Live && len(b.Succs) == 0 && !b.Returns {
+			abnormal++
+		}
+	}
+	if abnormal != 1 {
+		t.Fatalf("panic path: %d abnormal terminal blocks, want 1", abnormal)
+	}
+}
+
+func TestGotoForwardAndBack(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	i := 0
+loop:
+	i++
+	if c {
+		goto out
+	}
+	goto loop
+out:
+	_ = i
+}`, nil)
+	if !hasCycle(g) {
+		t.Fatal("backward goto produced no cycle")
+	}
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("goto: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for _, y := range xs {
+			if x == y {
+				break outer
+			}
+		}
+	}
+}`, nil)
+	if !hasCycle(g) {
+		t.Fatal("nested loops produced no cycle")
+	}
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("labeled break: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for _, y := range xs {
+			if x == y {
+				continue outer
+			}
+		}
+	}
+}`, nil)
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("labeled continue: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestUnreachableAfterReturnIsDead(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	x := 2 // unreachable
+	_ = x
+	return x
+}`, nil)
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("dead code: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestFuncLitBodyNotExpanded(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() func() int {
+	g := func() int { return 7 }
+	return g
+}`, nil)
+	// The closure's return must not appear as a returning block of f.
+	if got := liveReturns(g); got != 1 {
+		t.Fatalf("func lit: %d live returning blocks, want 1", got)
+	}
+}
+
+func TestInfiniteLoopHasNoReturn(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+	}
+}`, nil)
+	if got := liveReturns(g); got != 0 {
+		t.Fatalf("infinite loop: %d live returning blocks, want 0", got)
+	}
+}

@@ -163,6 +163,7 @@ func (pk *Package) newOp(op Op, addrs []Addr, d Done) *opState {
 		st.next = nil
 	} else {
 		st = &opState{pk: pk}
+		st.ck.Fresh("nand.opState")
 	}
 	st.op, st.addrs, st.d, st.issued = op, addrs, d, pk.eng.Now()
 	st.die = pk.dies[addrs[0].Die]

@@ -128,6 +128,7 @@ func (l *Link) newPS(pkt *Packet, accepted Accepted) *pendingSend {
 		ps.next = nil
 	} else {
 		ps = &pendingSend{l: l}
+		ps.ck.Fresh("pcie.pendingSend")
 	}
 	ps.pkt, ps.queued, ps.accepted = pkt, l.eng.Now(), accepted
 	return ps

@@ -20,7 +20,9 @@ type Pool struct {
 func (p *Pool) Get() *Packet {
 	pkt := p.free
 	if pkt == nil {
-		return &Packet{}
+		pkt = &Packet{}
+		pkt.ck.Fresh("pcie.Packet")
+		return pkt
 	}
 	p.free = pkt.next
 	p.freeLen--

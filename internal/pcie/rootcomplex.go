@@ -98,6 +98,7 @@ func (rc *RootComplex) newOp(pkt *Packet) *rcOp {
 		n.next = nil
 	} else {
 		n = &rcOp{rc: rc}
+		n.ck.Fresh("pcie.rcOp")
 	}
 	n.pkt = pkt
 	return n

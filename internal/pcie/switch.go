@@ -92,6 +92,7 @@ func (s *Switch) newFwd(pkt *Packet, from *Link) *fwd {
 		f.next = nil
 	} else {
 		f = &fwd{s: s}
+		f.ck.Fresh("pcie.fwd")
 	}
 	f.pkt, f.from = pkt, from
 	return f

@@ -176,6 +176,19 @@ func (e *Engine) AtEvent(t Time, h Handler, arg uint64) {
 	if h == nil {
 		panic("simx: nil event handler")
 	}
+	ev := e.newEvent()
+	e.seq++
+	ev.when, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
+	heap.Push(&e.events, ev)
+	if simcheckEnabled {
+		e.ckSchedule(ev)
+	}
+}
+
+// newEvent pops a recycled typed-event node or allocates a fresh one —
+// the registered acquire point of the simx.Event pool (its release is
+// recycle).
+func (e *Engine) newEvent() *Event {
 	ev := e.free
 	if ev != nil {
 		e.free = ev.next
@@ -187,13 +200,11 @@ func (e *Engine) AtEvent(t Time, h Handler, arg uint64) {
 		ev.cancel = false
 	} else {
 		ev = &Event{pooled: true}
+		if simcheckEnabled {
+			ev.ck.Fresh("simx.Event")
+		}
 	}
-	e.seq++
-	ev.when, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
-	heap.Push(&e.events, ev)
-	if simcheckEnabled {
-		e.ckSchedule(ev)
-	}
+	return ev
 }
 
 // recycle pushes a fired typed-event node back onto the free-list.

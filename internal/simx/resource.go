@@ -132,9 +132,23 @@ func (r *Resource) newWaiter() *waiter {
 		w.next = nil
 	} else {
 		w = &waiter{}
+		if simcheckEnabled {
+			w.ck.Fresh("simx.waiter")
+		}
 	}
 	w.arrived = r.eng.Now()
 	return w
+}
+
+// recycleWaiter pushes a granted waiter node back onto the free-list —
+// the registered release point of the simx.waiter pool.
+func (r *Resource) recycleWaiter(w *waiter) {
+	w.fn, w.g = nil, nil
+	if simcheckEnabled {
+		w.ck.Release("simx.waiter")
+	}
+	w.next = r.freeW
+	r.freeW = w
 }
 
 func (r *Resource) enqueue(w *waiter) {
@@ -184,12 +198,7 @@ func (r *Resource) Release() {
 	// Recycle the node before invoking: the grantee often re-queues
 	// immediately and reuses it.
 	fn, g, arg := w.fn, w.g, w.arg
-	w.fn, w.g = nil, nil
-	if simcheckEnabled {
-		w.ck.Release("simx.waiter")
-	}
-	w.next = r.freeW
-	r.freeW = w
+	r.recycleWaiter(w)
 	if g != nil {
 		g.OnGrant(arg, waited)
 		return

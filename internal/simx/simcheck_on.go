@@ -2,7 +2,11 @@
 
 package simx
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // simcheckEnabled gates the runtime invariant checks. Call sites are
 // written `if simcheckEnabled { ... }` so the default build compiles
@@ -24,32 +28,87 @@ type ckState struct {
 // for the no-op build). It tracks whether the embedding object is
 // currently on its pool's free-list and panics on double-release and
 // use-after-release — the two bugs an intrusive free-list can smuggle
-// past the type system.
+// past the type system. Panic messages carry the owning pool's name
+// and the guard's address (which pins the embedding object's identity)
+// so a failure is attributable without a debugger.
+//
+// Fresh/Checkout/Release also feed the package leak ledger: a per-pool
+// count of objects currently outside their free-list. SnapshotLedger
+// and AssertDrained turn that into an end-of-run drain check.
 type PoolCheck struct {
 	freed bool
+}
+
+// Fresh records a newly allocated pooled object (the pool's miss
+// branch, where no free-list node was available). The zero PoolCheck is
+// already in the checked-out state, so only the ledger moves.
+func (c *PoolCheck) Fresh(what string) {
+	ckLedger[what]++
 }
 
 // Checkout marks the object as taken from its pool's free-list.
 func (c *PoolCheck) Checkout(what string) {
 	if !c.freed {
-		panic("simcheck: " + what + ": free-list holds an object that was never released")
+		panic(fmt.Sprintf("simcheck: %s %p: free-list holds an object that was never released", what, c))
 	}
 	c.freed = false
+	ckLedger[what]++
 }
 
 // Release marks the object as returned to its pool.
 func (c *PoolCheck) Release(what string) {
 	if c.freed {
-		panic("simcheck: " + what + ": double release of pooled object")
+		panic(fmt.Sprintf("simcheck: %s %p: double release of pooled object", what, c))
 	}
 	c.freed = true
+	ckLedger[what]--
 }
 
 // InUse asserts the object has not been released.
 func (c *PoolCheck) InUse(what string) {
 	if c.freed {
-		panic("simcheck: " + what + ": use of object after release to its pool")
+		panic(fmt.Sprintf("simcheck: %s %p: use of object after release to its pool", what, c))
 	}
+}
+
+// ckLedger counts, per pool name, the objects currently checked out of
+// (or never yet returned to) their free-list. The simulator is
+// single-threaded by construction, so a plain map suffices.
+var ckLedger = map[string]int{}
+
+// SnapshotLedger copies the current per-pool outstanding counts.
+// Pools with a zero count are omitted.
+func SnapshotLedger() map[string]int {
+	snap := make(map[string]int, len(ckLedger))
+	for name, n := range ckLedger { //simlint:ordered copy into a map keyed by the same name; order-independent
+		if n != 0 {
+			snap[name] = n
+		}
+	}
+	return snap
+}
+
+// PoolOutstanding reports how many objects of the named pool are
+// currently outside their free-list.
+func PoolOutstanding(name string) int { return ckLedger[name] }
+
+// AssertDrained compares the ledger against a snapshot taken before a
+// run and returns an error naming every pool whose outstanding count
+// grew — a leaked pooled object. Comparing against a snapshot (rather
+// than zero) tolerates objects legitimately held by other engines in
+// the same test process.
+func AssertDrained(snap map[string]int) error {
+	var leaks []string
+	for name, n := range ckLedger { //simlint:ordered leak lines are sorted before reporting
+		if n > snap[name] {
+			leaks = append(leaks, fmt.Sprintf("%s: %d outstanding (was %d)", name, n, snap[name]))
+		}
+	}
+	if len(leaks) == 0 {
+		return nil
+	}
+	sort.Strings(leaks)
+	return fmt.Errorf("simcheck: pooled objects leaked: %s", strings.Join(leaks, "; "))
 }
 
 // ckLife is the engine-internal alias for the guard.
