@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare
+.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare fault-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,17 @@ bench-json:
 # Fail if allocs/op regressed >10% against the committed baseline.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json -against $(BENCH_JSON)
+
+# Degraded-mode smoke: the degraded-array study (reference fault plan,
+# reduced 2x4 geometry) written to FAULT_TABLE, plus the faulted golden
+# replay and the fault lifecycle tests with the simcheck leak ledger
+# armed. See docs/fault-injection.md.
+FAULT_TABLE ?= fault-table.txt
+fault-smoke:
+	$(GO) run ./cmd/triplea-bench -experiment fault -requests 4000 \
+		-switches 2 -clusters 4 | tee $(FAULT_TABLE)
+	$(GO) test -tags simcheck -run 'TestFaultedGoldenReplay' -v ./internal/experiments/
+	$(GO) test -tags simcheck ./internal/fault/
 
 check: build fmt-check vet lint test race simcheck
 

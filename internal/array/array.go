@@ -46,6 +46,20 @@ type Array struct {
 	switches []*pcie.Switch
 	eps      [][]*cluster.Endpoint // [switch][cluster]
 
+	// Fabric link registries (fault injection targets them directly).
+	epDown [][]*pcie.Link // switch -> endpoint, [switch][cluster]
+	epUp   [][]*pcie.Link // endpoint -> switch
+	swDown []*pcie.Link   // rc -> switch
+	swUp   []*pcie.Link   // switch -> rc
+
+	// Degraded-mode state (fault.go). health always exists; the fault
+	// branches below are gated on faultsArmed, which only the injector
+	// sets.
+	health        *topo.Health
+	faultsArmed   bool
+	recoverFaults bool
+	faultStats    FaultStats
+
 	rcSlots  *simx.Resource // RC queue entries (admission control)
 	recorder *metrics.Recorder
 	hooks    Hooks
@@ -112,6 +126,7 @@ func New(cfg Config) (*Array, error) {
 		busUtilSnap:    make([]simx.Time, cfg.Geometry.TotalClusters()),
 		busUtilLast:    make([]float64, cfg.Geometry.TotalClusters()),
 		cache:          newDRAMCache(units.BytesToPages(cfg.HostDRAMBytes, cfg.Geometry.Nand.PageSizeBytes)),
+		health:         topo.NewHealth(cfg.Geometry),
 	}
 	a.build()
 	return a, nil
@@ -163,12 +178,15 @@ func (a *Array) build() {
 		down := pcie.NewLink(a.eng, fmt.Sprintf("rc->sw%d", s),
 			cfg.SwitchLinkBytesPerSec, cfg.LinkPropagation, cfg.SwitchLinkCredits, sw)
 		a.rc.AddPort(down)
+		a.swDown = append(a.swDown, down)
 		up := pcie.NewLink(a.eng, fmt.Sprintf("sw%d->rc", s),
 			cfg.SwitchLinkBytesPerSec, cfg.LinkPropagation, cfg.SwitchLinkCredits, a.rc)
 		sw.SetUpstream(up)
+		a.swUp = append(a.swUp, up)
 
 		// Switch <-> endpoint links.
 		var row []*cluster.Endpoint
+		var downRow, upRow []*pcie.Link
 		for c := 0; c < g.ClustersPerSwitch; c++ {
 			id := topo.ClusterID{Switch: s, Cluster: c}
 			ep := cluster.New(a.eng, id, cfg.clusterParamsFor(id))
@@ -180,8 +198,10 @@ func (a *Array) build() {
 			ep.SetUpstream(epUp)
 			ep.SetPacketPool(&a.pktPool)
 			row = append(row, ep)
+			downRow, upRow = append(downRow, swDown), append(upRow, epUp)
 		}
 		a.eps = append(a.eps, row)
+		a.epDown, a.epUp = append(a.epDown, downRow), append(a.epUp, upRow)
 	}
 }
 
@@ -352,6 +372,7 @@ type request struct {
 	remain   units.Pages
 	agg      metrics.Breakdown
 	maxAdmit simx.Time // latest page admission (RC stall reference)
+	failed   bool      // a page command was terminated by a fault
 	next     *request  // free-list link
 	ck       simx.PoolCheck
 }
@@ -444,7 +465,13 @@ const maxReadRetries = 4
 func (a *Array) retryRead(ref *pageRef) {
 	ppn, ok := a.ftl.Lookup(ref.lpn)
 	if !ok {
-		panic(fmt.Sprintf("array: raced read of LPN %d lost its mapping", ref.lpn))
+		// Under a fault plan a mapping can legitimately vanish mid-read
+		// (its page was destroyed); restore it from the shadow clone and
+		// retry against the new location.
+		if !a.faultsArmed || !a.restoreLostRead(ref) {
+			panic(fmt.Sprintf("array: raced read of LPN %d lost its mapping", ref.lpn))
+		}
+		ppn, _ = a.ftl.Lookup(ref.lpn)
 	}
 	a.readRetries++
 	cmd := a.cmdPool.Get()
@@ -515,6 +542,9 @@ func (a *Array) admitPage(ref *pageRef) {
 		target := a.ftl.ResidentFIMM(lpn)
 		if a.hooks != nil {
 			target = a.hooks.WriteTarget(lpn, target)
+		}
+		if a.faultsArmed {
+			target = a.redirectWrite(lpn, target)
 		}
 		wa, err := a.ftl.AllocateWriteAt(lpn, target)
 		if err != nil {
@@ -628,7 +658,8 @@ func (a *Array) trackFlush(ppn topo.PPN, cmd *cluster.Command) {
 // background writes OnComplete has already run, so it recycles here.
 func (a *Array) OnCommandFlushed(c *cluster.Command) {
 	ppn := c.FlushPPN
-	if c.Result.Err != nil {
+	failed := c.Result.Err != nil
+	if failed && !(a.faultsArmed && isFaultError(c.Result.Err)) {
 		panic(fmt.Sprintf("array: flush of %v failed: %v", ppn, c.Result.Err))
 	}
 	delete(a.pendingFlush, ppn)
@@ -638,7 +669,14 @@ func (a *Array) OnCommandFlushed(c *cluster.Command) {
 	}
 	if a.staleOnFlush[ppn] {
 		delete(a.staleOnFlush, ppn)
-		a.staleDeviceNow(ppn)
+		// A failed flush never programmed the page, so there is no
+		// device page to stale-mark; the deferred mark just evaporates.
+		if !failed {
+			a.staleDeviceNow(ppn)
+		}
+	}
+	if failed {
+		a.failFlushedWrite(ppn)
 	}
 	if c.Background || c.RetireMark {
 		a.cmdPool.Put(c)
@@ -690,12 +728,18 @@ func (a *Array) deliver(pkt *pcie.Packet) {
 		// physical address was erased while the command was in flight.
 		// Re-resolve against the current mapping and retry. The stale
 		// packets and command recycle first so the retry reuses them.
+		// Under a fault plan the same retry path re-resolves reads whose
+		// hardware died mid-flight (recovery remaps them elsewhere).
 		if cmd.Op == cluster.OpRead && ref.retries < maxReadRetries {
 			ref.retries++
 			a.pktPool.Put(ref.down)
 			a.pktPool.Put(pkt)
 			a.cmdPool.Put(cmd)
 			a.retryRead(ref)
+			return
+		}
+		if a.faultsArmed && isFaultError(res.Err) {
+			a.failPage(ref, pkt, cmd)
 			return
 		}
 		panic(fmt.Sprintf("array: device error on req %d: %v", req.id, res.Err))
@@ -768,14 +812,25 @@ func (a *Array) finishPage(req *request, b metrics.Breakdown) {
 	if req.op == trace.Write {
 		kind = metrics.Write
 	}
-	a.recorder.Record(metrics.Record{
-		ID:        req.id,
-		Kind:      kind,
-		Pages:     req.pages,
-		Submit:    req.submit,
-		Complete:  a.eng.Now(),
-		Breakdown: req.agg,
-	})
+	if req.failed {
+		a.faultStats.RequestsFailed++
+		a.recorder.RecordFailure(metrics.Failure{
+			ID:     req.id,
+			Kind:   kind,
+			Pages:  req.pages,
+			Submit: req.submit,
+			At:     a.eng.Now(),
+		})
+	} else {
+		a.recorder.Record(metrics.Record{
+			ID:        req.id,
+			Kind:      kind,
+			Pages:     req.pages,
+			Submit:    req.submit,
+			Complete:  a.eng.Now(),
+			Breakdown: req.agg,
+		})
+	}
 	a.inFlight--
 	a.recycleReq(req)
 	if a.inFlight == 0 && a.onIdle != nil {

@@ -1,0 +1,164 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+
+	"triplea/internal/cluster"
+	"triplea/internal/fimm"
+	"triplea/internal/metrics"
+	"triplea/internal/nand"
+	"triplea/internal/pcie"
+	"triplea/internal/topo"
+)
+
+// Degraded-mode glue for fault injection (see internal/fault and
+// docs/fault-injection.md). None of this runs on an unfaulted array:
+// every hook below is gated on faultsArmed (set by the injector), so
+// the golden-replay byte stream is untouched when no plan is attached.
+
+// FaultStats counts degraded-mode activity at the array layer.
+type FaultStats struct {
+	RequestsFailed   uint64 // host requests terminated by a fault
+	PagesFailed      uint64 // page commands terminated by a fault
+	ReadsRemapped    uint64 // lost pages restored out-of-place on read
+	WritesRedirected uint64 // host writes steered off faulted hardware
+	FlushesDropped   uint64 // buffered writes lost when their flush failed
+}
+
+// Health exposes the array's availability registry. It exists (all
+// online) even on unfaulted arrays so callers need no nil checks.
+func (a *Array) Health() *topo.Health { return a.health }
+
+// FaultStats reports degraded-mode counters.
+func (a *Array) FaultStats() FaultStats { return a.faultStats }
+
+// ArmFaults marks the array as running under a fault plan: device
+// errors on fault paths terminate requests (recorded as failures)
+// instead of panicking. Called by the injector on attach.
+func (a *Array) ArmFaults() { a.faultsArmed = true }
+
+// SetFaultRecovery enables autonomic degraded-mode recovery: the FTL
+// consults the health registry on placement, host writes are steered
+// off faulted hardware, and reads of fault-lost pages are restored
+// out-of-place from the host's shadow clones. Off (the default), a
+// faulted array keeps its nominal placement and simply fails the
+// affected requests — the autonomic-off baseline of the degraded-array
+// study.
+func (a *Array) SetFaultRecovery(on bool) {
+	a.recoverFaults = on
+	if on {
+		a.ftl.SetHealth(a.health)
+	} else {
+		a.ftl.SetHealth(nil)
+	}
+}
+
+// FaultRecovery reports whether degraded-mode recovery is enabled.
+func (a *Array) FaultRecovery() bool { return a.recoverFaults }
+
+// EPLinks returns a cluster's fabric links (down toward the endpoint,
+// up toward the switch) — the injector's target for link degradation.
+func (a *Array) EPLinks(id topo.ClusterID) (down, up *pcie.Link) {
+	return a.epDown[id.Switch][id.Cluster], a.epUp[id.Switch][id.Cluster]
+}
+
+// SwitchLinks returns the RC<->switch links for one switch.
+func (a *Array) SwitchLinks(sw int) (down, up *pcie.Link) {
+	return a.swDown[sw], a.swUp[sw]
+}
+
+// isFaultError reports whether a device error was caused by injected
+// hardware faults (as opposed to a simulator bug, which must keep
+// panicking loudly).
+func isFaultError(err error) bool {
+	return errors.Is(err, fimm.ErrDead) ||
+		errors.Is(err, cluster.ErrUnplugged) ||
+		errors.Is(err, nand.ErrBadBlock) ||
+		errors.Is(err, nand.ErrDeadDie)
+}
+
+// failPage terminates one page command on a fault: the request is
+// marked failed, every pooled object the page held is released, and
+// the page retires through the normal finishPage accounting (so the
+// request still drains and the run never sticks).
+func (a *Array) failPage(ref *pageRef, up *pcie.Packet, cmd *cluster.Command) {
+	req := ref.req
+	req.failed = true
+	a.faultStats.PagesFailed++
+	a.rcSlots.Release()
+	a.pktPool.Put(ref.down)
+	a.pktPool.Put(up)
+	if cmd.Op == cluster.OpRead || cmd.RetireMark {
+		a.cmdPool.Put(cmd)
+	} else {
+		cmd.RetireMark = true
+	}
+	a.recycleRef(ref)
+	a.finishPage(req, metrics.Breakdown{})
+}
+
+// failFlushedWrite records the data loss of a buffered write whose
+// flush failed: the acknowledged data never reached flash, so its
+// mapping (if still current) is severed and the LPN joins the FTL's
+// lost set.
+func (a *Array) failFlushedWrite(ppn topo.PPN) {
+	a.faultStats.FlushesDropped++
+	// The device never programmed this page, so its block's program
+	// cursor is behind the FTL's: close the block before anything
+	// appends to it (GC's erase resynchronises the cursors).
+	a.ftl.AbortBlock(ppn)
+	lpn, ok := a.ftl.LPNOf(ppn)
+	if !ok {
+		return // mapping already dropped or superseded
+	}
+	if cur, mapped := a.ftl.Lookup(lpn); !mapped || cur != ppn {
+		return
+	}
+	a.ftl.DropMapping(lpn)
+}
+
+// restoreLostRead re-resolves a read whose mapping a fault destroyed:
+// the page's pre-existing data is restored out-of-place from the
+// host's shadow clone (zero simulated cost, like Prepare) and the read
+// retries against the new location.
+func (a *Array) restoreLostRead(ref *pageRef) bool {
+	if err := a.ensureMapped(ref.lpn); err != nil {
+		return false
+	}
+	a.faultStats.ReadsRemapped++
+	return true
+}
+
+// redirectWrite steers a host write off faulted hardware when recovery
+// is enabled, keeping the manager's choice otherwise.
+func (a *Array) redirectWrite(lpn int64, target topo.FIMMID) topo.FIMMID {
+	if !a.recoverFaults || a.health.Placeable(target) {
+		return target
+	}
+	if fb, ok := a.ftl.FallbackFIMM(lpn); ok {
+		a.faultStats.WritesRedirected++
+		return fb
+	}
+	return target // nothing placeable; let the write fail downstream
+}
+
+// gcHalted reports whether background GC must stop touching the FIMM:
+// its module died or its cluster left the online state.
+func (a *Array) gcHalted(id topo.FIMMID) bool {
+	if !a.faultsArmed {
+		return false
+	}
+	return a.health.FIMM(id) != topo.FIMMOnline ||
+		a.health.Cluster(id.ClusterID) != topo.ClusterOnline
+}
+
+// gcFaultErr tolerates fault-caused errors on GC device operations
+// (the round is abandoned; retired blocks are never reused) and keeps
+// panicking on everything else.
+func (a *Array) gcFaultErr(what string, err error) {
+	if a.faultsArmed && isFaultError(err) {
+		return
+	}
+	panic(fmt.Sprintf("array: %s: %v", what, err))
+}

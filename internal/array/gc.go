@@ -25,6 +25,10 @@ func (a *Array) startGC(id topo.FIMMID) {
 
 func (a *Array) gcStep(id topo.FIMMID) {
 	flat := id.Flat(a.cfg.Geometry)
+	if a.gcHalted(id) {
+		a.gcActive[flat] = false
+		return
+	}
 	if !a.ftl.GCPressure(id) {
 		a.gcActive[flat] = false
 		return
@@ -68,7 +72,11 @@ func (a *Array) execGCMoves(plan *ftl.GCPlan, i int, done func()) {
 	readCmd.Background = true
 	readCmd.OnComplete = func(c *cluster.Command) {
 		if c.Result.Err != nil {
-			panic(fmt.Sprintf("array: GC read: %v", c.Result.Err))
+			a.gcFaultErr("GC read", c.Result.Err)
+			// The victim page is unreadable; abandon this move.
+			a.cmdPool.Put(c)
+			next()
+			return
 		}
 		a.cmdPool.Put(c) // background reads retire at completion
 		wa, err := a.ftl.AllocateGCMove(move)
@@ -101,7 +109,9 @@ func (a *Array) backgroundProgram(ppn topo.PPN, done func()) {
 	// OnComplete only chains the GC state machine.
 	cmd.OnComplete = func(c *cluster.Command) {
 		if c.Result.Err != nil {
-			panic(fmt.Sprintf("array: background program: %v", c.Result.Err))
+			// Fault-caused program failures are tolerated: the flush
+			// retirement drops the mapping, and the chain continues.
+			a.gcFaultErr("background program", c.Result.Err)
 		}
 		done()
 	}
@@ -116,7 +126,11 @@ func (a *Array) eraseVictim(plan *ftl.GCPlan, done func()) {
 		[]nand.Addr{plan.Victim.NandAddr(a.cfg.Geometry)},
 		func(err error) {
 			if err != nil {
-				panic(fmt.Sprintf("array: GC erase: %v", err))
+				// A fault-caused erase failure abandons the round; the
+				// victim block stays reclaimable for a later pass.
+				a.gcFaultErr("GC erase", err)
+				done()
+				return
 			}
 			if err := a.ftl.CompleteGCErase(plan); err != nil {
 				panic(fmt.Sprintf("array: GC bookkeeping: %v", err))

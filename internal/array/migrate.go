@@ -41,6 +41,12 @@ func (a *Array) MigratePage(lpn int64, dst topo.FIMMID, shadow bool, done func(e
 		done(nil) // already there
 		return
 	}
+	if a.faultsArmed && !a.health.Placeable(dst) {
+		// Refuse before Relocate: allocating on faulted hardware would
+		// lose the page when its flush fails.
+		done(fmt.Errorf("array: migrate of %d to unplaceable %v", lpn, dst))
+		return
+	}
 
 	transfer := func() { a.transferPage(lpn, src, dst, done) }
 	if shadow || a.pendingFlush[src] {

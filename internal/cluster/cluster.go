@@ -337,6 +337,10 @@ type Endpoint struct {
 	up      *pcie.Link // toward the switch
 	pktPool *pcie.Pool // optional shared packet free-list for completions
 
+	// unplugged models a hot-unplugged cluster (fault.go): every newly
+	// submitted command fails with ErrUnplugged; in-flight work drains.
+	unplugged bool
+
 	stats Stats
 	ck    ckState // empty unless built with -tags simcheck
 }
@@ -478,6 +482,10 @@ func (ep *Endpoint) Submit(cmd *Command) {
 		ep.fail(cmd, fmt.Errorf("cluster %v: command with no addresses", ep.id))
 		return
 	}
+	if ep.unplugged {
+		ep.fail(cmd, fmt.Errorf("cluster %v: %w", ep.id, ErrUnplugged))
+		return
+	}
 	cmd.arrived = ep.eng.Now()
 	if ep.QueueFull() {
 		ep.stats.QueueFullHits++
@@ -502,6 +510,10 @@ func (ep *Endpoint) serveBufferHit(cmd *Command) {
 
 func (ep *Endpoint) fail(cmd *Command, err error) {
 	cmd.Result.Err = err
+	// Writes are judged by their ack snapshot upstream (the flush result
+	// is normally invisible to the host); a command that failed before
+	// buffering must carry the error there too.
+	cmd.AckResult.Err = err
 	ep.creditBack(cmd)
 	// Host commands report failure through the fabric (a dataless error
 	// completion) so the array can re-resolve stale addresses — e.g. a
@@ -513,6 +525,12 @@ func (ep *Endpoint) fail(cmd *Command, err error) {
 	}
 	if cmd.OnComplete != nil {
 		cmd.OnComplete(cmd)
+	}
+	// A write rejected before buffering never reaches finishFlush; fire
+	// the flush retirement here so the submitter's per-block bookkeeping
+	// (and the pooled command's RetireMark handshake) still resolves.
+	if cmd.Flushed != nil {
+		cmd.Flushed.OnCommandFlushed(cmd)
 	}
 }
 
@@ -707,6 +725,10 @@ func (ep *Endpoint) finishFlush(cmd *Command, r fimm.Result) {
 func (ep *Endpoint) Erase(fimmSlot, pkg int, addrs []nand.Addr, done func(error)) {
 	if fimmSlot < 0 || fimmSlot >= len(ep.fimms) {
 		done(fmt.Errorf("cluster %v: FIMM slot %d out of range", ep.id, fimmSlot))
+		return
+	}
+	if ep.unplugged {
+		done(fmt.Errorf("cluster %v: %w", ep.id, ErrUnplugged))
 		return
 	}
 	ep.fimms[fimmSlot].Erase(pkg, addrs, func(r fimm.Result) {

@@ -1,0 +1,20 @@
+package cluster
+
+import "errors"
+
+// Fault-injection hooks (see internal/fault and docs/fault-injection.md).
+
+// ErrUnplugged marks a command submitted to a hot-unplugged cluster.
+// Detected with errors.Is by the array's degraded-mode error paths.
+var ErrUnplugged = errors.New("cluster: hot-unplugged")
+
+// SetUnplugged pulls the cluster (true) or replugs it (false). While
+// unplugged, every newly arriving command fails with ErrUnplugged —
+// the error completion models the fabric's device-removal response —
+// and in-flight commands drain normally, so no pooled object strands.
+// A replugged cluster rejoins with its endpoint buffers empty and its
+// flash contents intact.
+func (ep *Endpoint) SetUnplugged(u bool) { ep.unplugged = u }
+
+// Unplugged reports whether the cluster is currently pulled.
+func (ep *Endpoint) Unplugged() bool { return ep.unplugged }

@@ -404,11 +404,15 @@ func (m *Manager) allLaggards(laggards []bool) bool {
 // breaking ties toward the least-worn module when wear awareness is on.
 func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool) int {
 	stalled := ep.StalledPerFIMM()
+	health := m.arr.Health()
 	best, bestN := -1, int(^uint(0)>>1)
 	var bestWear uint64
 	for i, n := range stalled {
 		if laggards != nil && laggards[i] {
 			continue
+		}
+		if !health.Placeable(topo.FIMMID{ClusterID: ep.ID(), FIMM: i}) {
+			continue // dead or evacuating modules take no new data
 		}
 		if n > bestN {
 			continue
@@ -446,6 +450,9 @@ func (m *Manager) coldClusterNear(hot topo.ClusterID) (topo.ClusterID, bool) {
 		id := topo.ClusterID{Switch: hot.Switch, Cluster: c}
 		if id == hot {
 			continue
+		}
+		if !m.arr.Health().ClusterPlaceable(id) {
+			continue // degraded or unplugged clusters leave the candidate set
 		}
 		u := m.utilization(id)
 		if u < bestU {

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"triplea/internal/array"
+	"triplea/internal/core"
+	"triplea/internal/fault"
 	"triplea/internal/simx"
 	"triplea/internal/workload"
 )
@@ -67,6 +70,57 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
+// serializeFaultedRun executes a mixed workload under the reference
+// fault plan (one FIMM death, one cluster hot-unplug/replug) with
+// degraded-mode recovery on, and renders every completion, every
+// failure, and all fault/recovery counters to text. The determinism
+// contract extends to faulted runs: fault delivery, mapping drops,
+// write redirection and the evacuation pump must all replay
+// byte-identically from the same seed.
+func serializeFaultedRun(t *testing.T, seed uint64) string {
+	t.Helper()
+	s := NewSuite()
+	s.Seed = seed
+	p := workload.MicroRead(2, 2000, 240_000)
+	p.ReadRatio = 0.6
+	p.WriteRandomness = 1
+	reqs, _, err := workload.Generate(s.Config.Geometry, p, s.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := reqs[len(reqs)-1].Arrival
+	plan := fault.ReferencePlan(s.Config.Geometry, span)
+	plan.Seed = seed
+
+	var b strings.Builder
+	for _, autonomic := range []bool{false, true} {
+		a, err := array.New(s.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if autonomic {
+			core.Attach(a, s.Options)
+		}
+		inj := fault.Attach(a, plan, fault.Options{Recover: autonomic})
+		rec, err := a.Run(reqs)
+		if err != nil {
+			t.Fatalf("seed %d, autonomic=%v: %v", seed, autonomic, err)
+		}
+		if a.InFlight() != 0 {
+			t.Fatalf("seed %d, autonomic=%v: %d requests stuck", seed, autonomic, a.InFlight())
+		}
+		for _, r := range rec.Records() {
+			fmt.Fprintf(&b, "done %+v\n", r)
+		}
+		for _, f := range rec.Failures() {
+			fmt.Fprintf(&b, "fail %+v\n", f)
+		}
+		fmt.Fprintf(&b, "faults auto=%v arr=%+v inj=%+v ftl=%+v lost=%d\n",
+			autonomic, a.FaultStats(), inj.Stats(), a.FTL().Stats(), a.FTL().LostPages())
+	}
+	return b.String()
+}
+
 // Golden digest of serializeRun(seed=42), captured on the closure-based
 // event path immediately before the typed-pooled-event refactor. The
 // refactor's contract is stronger than "same seed ⇒ same bytes within a
@@ -99,5 +153,36 @@ func TestGoldenReplay(t *testing.T) {
 	}
 	if err := simx.AssertDrained(drainSnap); err != nil {
 		t.Fatalf("seed-%d golden run leaked pooled objects: %v", goldenSeed, err)
+	}
+}
+
+// Golden digest of serializeFaultedRun(seed=42): the degraded-array
+// acceptance scenario, pinned the same way as the unfaulted golden
+// replay. Re-capture in the same commit if a change legitimately moves
+// simulated timing; a divergence on a pure refactor is a reordering
+// bug on the fault paths.
+const (
+	faultedGoldenSHA256    = "322915e117385606141ef7a0efb910082c3f5f7971b92abfafabe4ed5e813b59"
+	faultedGoldenOutputLen = 910294
+)
+
+// TestFaultedGoldenReplay is the faulted half of the reproducibility
+// contract: seed 42 plus the reference fault plan must yield these
+// exact bytes, twice, with every pool drained.
+func TestFaultedGoldenReplay(t *testing.T) {
+	drainSnap := simx.SnapshotLedger()
+	first := serializeFaultedRun(t, goldenSeed)
+	second := serializeFaultedRun(t, goldenSeed)
+	if first != second {
+		t.Fatal("same seed produced different faulted runs")
+	}
+	if err := simx.AssertDrained(drainSnap); err != nil {
+		t.Fatalf("faulted golden run leaked pooled objects: %v", err)
+	}
+	sum := sha256.Sum256([]byte(first))
+	got := hex.EncodeToString(sum[:])
+	if len(first) != faultedGoldenOutputLen || got != faultedGoldenSHA256 {
+		t.Fatalf("faulted run diverged from golden bytes:\n  got  sha256=%s len=%d\n  want sha256=%s len=%d",
+			got, len(first), faultedGoldenSHA256, faultedGoldenOutputLen)
 	}
 }

@@ -11,6 +11,7 @@ import (
 var Names = []string{
 	"table1", "table2", "fig1", "fig9", "fig10", "fig11",
 	"fig12", "fig13", "fig14", "fig15", "fig16", "wear", "dram", "cost",
+	"fault",
 }
 
 // Run executes one named experiment and renders it to w.
@@ -75,6 +76,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return render(t, err)
 	case "cost":
 		t, err := s.CostStudy()
+		return render(t, err)
+	case "fault":
+		t, err := s.FaultStudy()
 		return render(t, err)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)

@@ -6,6 +6,7 @@ import (
 	"triplea/internal/array"
 	"triplea/internal/core"
 	"triplea/internal/cost"
+	"triplea/internal/fault"
 	"triplea/internal/report"
 	"triplea/internal/units"
 	"triplea/internal/workload"
@@ -74,6 +75,76 @@ func (s *Suite) dramStudy() (*report.Table, error) {
 		)
 	}
 	return t, nil
+}
+
+// FaultStudy runs the degraded-array study: the reference fault plan
+// (one FIMM death, one cluster hot-unplug/replug cycle) injected into a
+// mixed read/write workload, on the array with autonomics off (faults
+// simply break what they hit) and on Triple-A with degraded-mode
+// recovery (lost pages remap out-of-place, the pulled cluster's live
+// data evacuates over the fabric before release). The table reports
+// per-phase availability, failure/redirect counters, evacuation volume
+// and time-to-recover for both rows.
+func (s *Suite) FaultStudy() (*report.Table, error) {
+	return s.memoTable("fault", s.faultStudy)
+}
+
+func (s *Suite) faultStudy() (*report.Table, error) {
+	p := microProfile(2, 20_000, 1.0)
+	p.Name = "fault-mixed"
+	p.ReadRatio = 0.6
+	p.WriteRandomness = 1
+	p = s.prepare(p)
+	reqs, _, err := workload.Generate(s.Config.Geometry, p, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	span := reqs[len(reqs)-1].Arrival
+	plan := fault.ReferencePlan(s.Config.Geometry, span)
+	// Phase boundaries come from the plan itself: healthy until the FIMM
+	// death, degraded until the replug, recovered after.
+	tDeath := plan.Events[0].At
+	tReplug := plan.Events[2].At
+
+	rows := make([]FaultRow, 0, 2)
+	for _, v := range []struct {
+		name      string
+		autonomic bool
+	}{
+		{"autonomic-off", false},
+		{"autonomic-on", true},
+	} {
+		a, err := array.New(s.Config)
+		if err != nil {
+			return nil, err
+		}
+		if v.autonomic {
+			core.Attach(a, s.Options)
+		}
+		inj := fault.Attach(a, plan, fault.Options{Recover: v.autonomic})
+		rec, err := a.Run(reqs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault study %s: %w", v.name, err)
+		}
+		fs := a.FaultStats()
+		is := inj.Stats()
+		row := FaultRow{
+			Name:          v.name,
+			AvailHealthy:  rec.Availability(0, tDeath),
+			AvailDegraded: rec.Availability(tDeath, tReplug),
+			AvailPost:     rec.Availability(tReplug, endOfRun),
+			Failed:        fs.RequestsFailed,
+			Remapped:      fs.ReadsRemapped,
+			Redirected:    fs.WritesRedirected,
+			Evacuated:     is.Evacuated,
+			AvgLat:        rec.AvgLatency(),
+		}
+		for _, r := range is.Recoveries {
+			row.TTR += r.TTR()
+		}
+		rows = append(rows, row)
+	}
+	return faultTable(rows), nil
 }
 
 // CostStudy reproduces the paper's cost argument (Sections 3.1, 6.5):

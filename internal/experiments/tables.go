@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triplea/internal/report"
+	"triplea/internal/simx"
 	"triplea/internal/units"
 	"triplea/internal/workload"
 )
@@ -63,6 +64,49 @@ func (s *Suite) table2() (*report.Table, error) {
 		)
 	}
 	return t, nil
+}
+
+// endOfRun is the open upper bound of the last availability phase
+// (far beyond any simulated run).
+const endOfRun = (1 << 32) * simx.Second
+
+// FaultRow is one configuration's line of the degraded-array table.
+type FaultRow struct {
+	Name          string
+	AvailHealthy  float64 // before the first fault
+	AvailDegraded float64 // FIMM dead / cluster pulled
+	AvailPost     float64 // after the replug
+	Failed        uint64  // requests terminated by faults
+	Remapped      uint64  // lost reads restored from shadow clones
+	Redirected    uint64  // writes steered off faulted hardware
+	Evacuated     int     // pages moved off the pulled cluster
+	TTR           simx.Time
+	AvgLat        simx.Time
+}
+
+// faultTable renders the degraded-array study.
+func faultTable(rows []FaultRow) *report.Table {
+	t := report.NewTable(
+		"Degraded-array study: reference fault plan (FIMM death + cluster hot-swap)",
+		"config", "avail pre%", "avail degr%", "avail post%",
+		"failed", "remapped", "redirected", "evac pages", "TTR(us)", "avgLat(us)")
+	pct := func(f float64) string { return fmt.Sprintf("%.2f", f*100) }
+	for _, r := range rows {
+		ttr := "-"
+		if r.TTR > 0 {
+			ttr = report.FormatUS(int64(r.TTR))
+		}
+		t.AddRow(r.Name,
+			pct(r.AvailHealthy), pct(r.AvailDegraded), pct(r.AvailPost),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%d", r.Remapped),
+			fmt.Sprintf("%d", r.Redirected),
+			fmt.Sprintf("%d", r.Evacuated),
+			ttr,
+			report.FormatUS(int64(r.AvgLat)),
+		)
+	}
+	return t
 }
 
 // WearResult quantifies Section 6.5's wear analysis on a write-heavy

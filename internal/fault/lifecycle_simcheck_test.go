@@ -1,0 +1,63 @@
+//go:build simcheck
+
+package fault
+
+import (
+	"testing"
+
+	"triplea/internal/array"
+	"triplea/internal/simx"
+	"triplea/internal/topo"
+)
+
+// The fault paths retire pooled objects on routes the healthy hot path
+// never takes: array.failPage recycles a failed page's packets, command
+// and pageRef by hand, the RetireMark handshake must still resolve when
+// the flush side arrives with an error, and the evacuation pump chains
+// background migrations whose commands recycle at flush. With the leak
+// ledger armed, killing hardware mid-flight proves every one of those
+// release points: a missed release fails AssertDrained with the pool's
+// name, a double release panics in PoolCheck.
+
+// TestFaultLifecyclePoolsDrain kills a FIMM and hot-unplugs a cluster
+// in the middle of a mixed burst, with recovery on and off, and checks
+// every pool drained after each run.
+func TestFaultLifecyclePoolsDrain(t *testing.T) {
+	for _, recover := range []bool{false, true} {
+		cfg := testConfig()
+		a, err := array.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := testTraffic(cfg.Geometry, 3000)
+		span := reqs[len(reqs)-1].Arrival
+		// Mid-flight: both events land while the burst is in full swing,
+		// so in-flight commands on the victims fail at every stage of
+		// their life (queued, on the bus, at the die, awaiting flush).
+		plan := Plan{Events: []Event{
+			{At: span / 3, Kind: KindFIMMDeath,
+				Cluster: topo.ClusterID{Switch: 0, Cluster: 0}, FIMM: 1},
+			{At: span / 2, Kind: KindClusterUnplug,
+				Cluster: topo.ClusterID{Switch: 1, Cluster: 1}},
+		}}
+		drainSnap := simx.SnapshotLedger()
+		inj := Attach(a, plan, Options{Recover: recover})
+		rec, err := a.Run(reqs)
+		if err != nil {
+			t.Fatalf("recover=%v: %v", recover, err)
+		}
+		if a.InFlight() != 0 {
+			t.Fatalf("recover=%v: %d requests stuck", recover, a.InFlight())
+		}
+		if rec.Count()+rec.FailedCount() != 3000 {
+			t.Errorf("recover=%v: completed %d + failed %d != submitted 3000",
+				recover, rec.Count(), rec.FailedCount())
+		}
+		if got := inj.Stats().Injected; got != 2 {
+			t.Errorf("recover=%v: injected %d events, want 2", recover, got)
+		}
+		if err := simx.AssertDrained(drainSnap); err != nil {
+			t.Fatalf("recover=%v: fault paths leaked pooled objects: %v", recover, err)
+		}
+	}
+}

@@ -125,6 +125,11 @@ type FIMM struct {
 	channel  *simx.Resource
 	freeOp   *fop // recycled operation nodes
 
+	// Fault-injection state (fault.go): dead rejects new operations;
+	// channelScale > 0 stretches channel transfers (degraded lanes).
+	dead         bool
+	channelScale float64
+
 	stats Stats
 }
 
@@ -327,8 +332,12 @@ func (f *FIMM) ReadOp(pkg int, addrs []nand.Addr, d Done) {
 		d.OnFIMMDone(Result{Err: err})
 		return
 	}
+	if f.dead {
+		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: read: %w", ErrDead)})
+		return
+	}
 	st := f.newOp(nand.OpRead, pkg, addrs, d)
-	st.xfer = units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
+	st.xfer = f.xferTime(len(addrs))
 	f.packages[pkg].ReadOp(addrs, st)
 }
 
@@ -350,8 +359,12 @@ func (f *FIMM) ProgramOp(pkg int, addrs []nand.Addr, d Done) {
 		d.OnFIMMDone(Result{Err: err})
 		return
 	}
+	if f.dead {
+		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: program: %w", ErrDead)})
+		return
+	}
 	st := f.newOp(nand.OpProgram, pkg, addrs, d)
-	st.xfer = units.ScaleByPages(f.params.PageTransferTime(), units.Pages(len(addrs)))
+	st.xfer = f.xferTime(len(addrs))
 	f.channel.AcquireG(st, 0)
 }
 
@@ -372,6 +385,10 @@ func (f *FIMM) Erase(pkg int, addrs []nand.Addr, done func(Result)) {
 	}
 	if err := f.checkPkg(pkg); err != nil {
 		done(Result{Err: err})
+		return
+	}
+	if f.dead {
+		done(Result{Err: fmt.Errorf("fimm: erase: %w", ErrDead)})
 		return
 	}
 	f.packages[pkg].Erase(addrs, func(texe simx.Time, err error) {

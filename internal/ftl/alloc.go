@@ -20,11 +20,12 @@ const (
 // keeping memory proportional to the workload footprint rather than the
 // 16 TB array.
 type blockInfo struct {
-	state blockStateKind
-	erase int
-	valid int
-	next  int      // sequential-program pointer
-	mask  []uint64 // valid-page bitmap
+	state   blockStateKind
+	erase   int
+	valid   int
+	next    int      // sequential-program pointer
+	mask    []uint64 // valid-page bitmap
+	retired bool     // faulted out: never allocated, claimed or GC'd again
 }
 
 func (bi *blockInfo) ensureMask(pagesPerBlock int) {
@@ -59,6 +60,7 @@ type unitAlloc struct {
 	aheadTouched int   // touched blocks at indices >= nextFresh
 	allocated    int   // blocks in active/full/dense state
 	active       int   // plane-local index of the active block, or -1
+	retired      bool  // whole unit faulted out (dead die or dead FIMM)
 }
 
 func newUnitAlloc() *unitAlloc {
@@ -79,6 +81,8 @@ func (u *unitAlloc) takeFreeBlock(blocksPerPlane int) (int, *blockInfo, bool) {
 		b := u.nextFresh
 		u.nextFresh++
 		if _, ok := u.touched[b]; ok {
+			// Includes blocks retired by fault injection: retirement gives
+			// an untouched block a touched entry exactly so this skips it.
 			u.aheadTouched--
 			continue
 		}
@@ -151,7 +155,7 @@ func (fa *fimmAlloc) claimDense(f *FTL, ppn topo.PPN) bool {
 		if b >= u.nextFresh {
 			u.aheadTouched++
 		}
-	} else if bi.state != blockDense {
+	} else if bi.state != blockDense || bi.retired {
 		return false
 	}
 	bi.ensureMask(g.Nand.PagesPerBlock.Int())
@@ -172,6 +176,9 @@ func (fa *fimmAlloc) allocPage(f *FTL, id topo.FIMMID) (topo.PPN, error) {
 	for attempt := 0; attempt < len(fa.units); attempt++ {
 		unit := (fa.rr + attempt) % len(fa.units)
 		u := fa.units[unit]
+		if u.retired {
+			continue
+		}
 		if u.active < 0 {
 			b, bi, ok := u.takeFreeBlock(g.Nand.BlocksPerPlane.Int())
 			if !ok {

@@ -115,6 +115,12 @@ type FTL struct {
 
 	fimms map[int]*fimmAlloc // flat FIMM id -> allocator state
 
+	// Fault state (fault.go). health is nil in unfaulted arrays; lost
+	// holds LPNs whose physical page was destroyed by a fault, so
+	// Prepopulate must not hand back their (unreadable) dense home.
+	health *topo.Health
+	lost   map[int64]bool
+
 	stats Stats
 	ck    ckState // empty unless built with -tags simcheck
 }
@@ -296,22 +302,55 @@ func (f *FTL) Prepopulate(lpn int64) (topo.PPN, bool, error) {
 		return ppn, false, nil
 	}
 	fimmFlat, fp := f.home(lpn)
-	ppn := f.densePPN(fimmFlat, fp)
-	fa := f.fimmAllocFor(fimmFlat)
-	if fa.claimDense(f, ppn) {
-		f.pageMap[lpn] = ppn
-		f.stats.Prepopulated++
-		return ppn, true, nil
+	if !f.lost[lpn] && f.placeableFlat(fimmFlat) {
+		ppn := f.densePPN(fimmFlat, fp)
+		fa := f.fimmAllocFor(fimmFlat)
+		if fa.claimDense(f, ppn) {
+			f.pageMap[lpn] = ppn
+			f.stats.Prepopulated++
+			return ppn, true, nil
+		}
 	}
-	// Dense slot unavailable (its block was dynamically allocated):
-	// fall back to out-of-place allocation on the home FIMM.
-	wa, err := f.allocate(lpn, topo.FIMMFromFlat(f.geom, fimmFlat), WriteHost)
+	// Dense slot unavailable (its block was dynamically allocated, the
+	// page was lost to a fault, or the home FIMM is faulted out): fall
+	// back to out-of-place allocation, home FIMM first.
+	wa, err := f.allocateFallback(lpn, fimmFlat)
 	if err != nil {
 		return 0, false, err
 	}
 	f.stats.HostWrites-- // not a real host write
 	f.stats.Prepopulated++
 	return wa.New, true, nil
+}
+
+// allocateFallback allocates an out-of-place page for lpn, trying the
+// home FIMM first and rotating through the remaining placeable FIMMs in
+// flat order — a deterministic spill used when the home location is
+// consumed or faulted out.
+func (f *FTL) allocateFallback(lpn int64, homeFlat int) (WriteAlloc, error) {
+	n := f.geom.TotalFIMMs()
+	var lastErr error
+	// Home first, then an LPN-keyed rotation over the rest so a faulted
+	// module's pages spread across the survivors.
+	start := homeFlat + 1 + int(lpn%int64(max(n-1, 1)))
+	for i := -1; i < n; i++ {
+		flat := homeFlat
+		if i >= 0 {
+			flat = (start + i) % n
+		}
+		if !f.placeableFlat(flat) {
+			continue
+		}
+		wa, err := f.allocate(lpn, topo.FIMMFromFlat(f.geom, flat), WriteHost)
+		if err == nil {
+			return wa, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoSpace
+	}
+	return WriteAlloc{}, lastErr
 }
 
 // AllocateWrite allocates the physical page for a host write. The data
@@ -360,6 +399,7 @@ func (f *FTL) allocate(lpn int64, target topo.FIMMID, kind WriteKind) (WriteAllo
 	}
 	f.pageMap[lpn] = ppn
 	f.reverse[ppn] = lpn
+	delete(f.lost, lpn) // a fresh mapping resurrects a fault-lost LPN
 	if simcheckEnabled {
 		f.ckMapped(lpn, ppn)
 	}

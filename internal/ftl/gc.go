@@ -31,6 +31,9 @@ func (f *FTL) GCPressure(id topo.FIMMID) bool {
 		return false
 	}
 	for _, u := range fa.units {
+		if u.retired {
+			continue
+		}
 		if units.Blocks(u.freeBlocks(f.geom.Nand.BlocksPerPlane.Int())) < f.gcThreshold {
 			return true
 		}
@@ -47,6 +50,9 @@ func (f *FTL) MinFreeBlocks(id topo.FIMMID) units.Blocks {
 	}
 	min := f.geom.Nand.BlocksPerPlane
 	for _, u := range fa.units {
+		if u.retired {
+			continue
+		}
 		if free := units.Blocks(u.freeBlocks(f.geom.Nand.BlocksPerPlane.Int())); free < min {
 			min = free
 		}
@@ -69,6 +75,9 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 	// Most pressured unit first.
 	unitIdx, minFree := -1, int(^uint(0)>>1)
 	for i, u := range fa.units {
+		if u.retired {
+			continue
+		}
 		free := u.freeBlocks(g.Nand.BlocksPerPlane.Int())
 		if units.Blocks(free) < f.gcThreshold && free < minFree {
 			unitIdx, minFree = i, free
@@ -94,6 +103,11 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 	for _, b := range blocks {
 		bi := u.touched[b]
 		if bi.state != blockFull && bi.state != blockDense {
+			continue
+		}
+		if bi.retired {
+			// Faulted-out block: its pages are unreadable, GC cannot
+			// relocate them and the block must never be reused.
 			continue
 		}
 		if bi.valid >= victimValid {

@@ -26,6 +26,7 @@ var simPackageSuffixes = []string{
 	"internal/ftl",
 	"internal/array",
 	"internal/core",
+	"internal/fault",
 }
 
 // floatPackageSuffixes lists the packages whose floating-point

@@ -157,8 +157,9 @@ type CDFPoint struct {
 
 // Recorder accumulates request records for one run.
 type Recorder struct {
-	records []Record
-	sums    Breakdown
+	records  []Record
+	failures []Failure // fault-terminated requests (failures.go)
+	sums     Breakdown
 
 	reads, writes uint64
 	firstSubmit   simx.Time

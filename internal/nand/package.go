@@ -107,6 +107,13 @@ type Package struct {
 	blocks map[int]*blockState // keyed by flat block id
 	freeOp *opState            // recycled operation nodes
 	stats  Stats
+
+	// Fault-injection state (fault.go). Nil maps and a zero scale mean
+	// a healthy package; the hot paths test exactly that.
+	badBlocks  map[int]bool // flat block id: every op fails
+	wornBlocks map[int]bool // flat block id: program/erase fail, reads OK
+	deadDies   map[int]bool // die index: every op fails
+	timeScale  float64      // >0 scales cell times (injected stall)
 }
 
 // opState is the pooled per-operation state: it queues for the target
@@ -448,6 +455,11 @@ func (pk *Package) startArrayOp(op Op, addrs []Addr, d Done) {
 }
 
 func (pk *Package) checkState(op Op, addrs []Addr) error {
+	if pk.badBlocks != nil || pk.wornBlocks != nil || pk.deadDies != nil {
+		if err := pk.checkFaults(op, addrs); err != nil {
+			return err
+		}
+	}
 	switch op {
 	case OpProgram:
 		for _, a := range addrs {
@@ -474,6 +486,14 @@ func (pk *Package) checkState(op Op, addrs []Addr) error {
 }
 
 func (pk *Package) execTime(op Op, addrs []Addr, d *die) simx.Time {
+	t := pk.baseExecTime(op, addrs, d)
+	if pk.timeScale > 0 {
+		t = simx.Time(float64(t) * pk.timeScale)
+	}
+	return t
+}
+
+func (pk *Package) baseExecTime(op Op, addrs []Addr, d *die) simx.Time {
 	p := pk.params
 	base := p.TCmdOverhead
 	switch op {

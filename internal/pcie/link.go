@@ -66,6 +66,10 @@ type Link struct {
 	sendQ  []*pendingSend
 	freePS *pendingSend // recycled pendingSend nodes
 
+	// rateScale > 0 stretches serialisation time — an injected link
+	// degradation, e.g. lanes trained down after an error (fault.go).
+	rateScale float64
+
 	// Statistics.
 	packets     uint64
 	bytes       units.Bytes
@@ -171,7 +175,11 @@ func (l *Link) Name() string { return l.name }
 // TransferTime reports serialisation time for a packet with n payload
 // bytes (TLP overhead included), rounded up to whole nanoseconds.
 func (l *Link) TransferTime(n units.Bytes) simx.Time {
-	return units.TransferTime(n+TLPOverheadBytes, l.bytesPerSec)
+	t := units.TransferTime(n+TLPOverheadBytes, l.bytesPerSec)
+	if l.rateScale > 0 {
+		t = simx.Time(float64(t) * l.rateScale)
+	}
+	return t
 }
 
 // Send transmits pkt toward the receiver. accepted (optional) fires when
