@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare fault-smoke
+.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector only has goroutines to watch inside the
+# orchestration scope (internal/sweep) and its consumer equivalence
+# tests — everything else is single-threaded by the isosafe/nospawn
+# contract, so racing the full suite would just slow CI down.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/sweep/ ./internal/experiments/
 
 # Runtime invariant checks (event-time monotonicity, FTL bijectivity,
 # cluster queue conservation, pooled-object lifecycle + leak ledger)
@@ -70,6 +74,17 @@ fault-smoke:
 		-switches 2 -clusters 4 | tee $(FAULT_TABLE)
 	$(GO) test -tags simcheck -run 'TestFaultedGoldenReplay' -v ./internal/experiments/
 	$(GO) test -tags simcheck ./internal/fault/
+
+# Parallel-sweep smoke: the 16-point Fig12 sweep benchmarked serial vs
+# parallel (wall-clock + speedup evidence, see docs/performance.md),
+# serialized to SWEEP_JSON, plus the serial/parallel byte-equivalence
+# tests and the race pass over the orchestration scope.
+SWEEP_JSON ?= BENCH_PR6.json
+sweep-smoke:
+	$(GO) test . -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -o $(SWEEP_JSON)
+	$(GO) test -run 'TestParallel' -v ./internal/experiments/
+	$(GO) test -race ./internal/sweep/
 
 check: build fmt-check vet lint test race simcheck
 

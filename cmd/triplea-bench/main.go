@@ -5,15 +5,19 @@
 //
 //	triplea-bench [-experiment all|table1|table2|fig1|fig9|...|wear]
 //	              [-requests N] [-seed S] [-switches N] [-clusters N]
+//	              [-parallel N] [-sweep-points N]
 //
 // The default reproduces the full 4x16 (16 TB) configuration. Reducing
-// -requests shortens runs proportionally.
+// -requests shortens runs proportionally. -parallel widens the sweep
+// pool for the multi-point experiments (Fig12, Fig13-15, fault); any
+// width prints byte-identical tables (see docs/performance.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,12 +31,17 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload generation seed")
 		switches = flag.Int("switches", 0, "override switch count (0 = paper default 4)")
 		clusters = flag.Int("clusters", 0, "override clusters per switch (0 = paper default 16)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"sweep-pool width for multi-point experiments (1 = serial; output is identical either way)")
+		points = flag.Int("sweep-points", 0, "override the Fig12 hot-cluster point count (0 = paper default 6)")
 	)
 	flag.Parse()
 
 	s := experiments.NewSuite()
 	s.Seed = *seed
 	s.Requests = *requests
+	s.Parallel = *parallel
+	s.Fig12Points = *points
 	if *switches > 0 {
 		s.Config.Geometry.Switches = *switches
 	}

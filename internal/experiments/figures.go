@@ -7,6 +7,7 @@ import (
 	"triplea/internal/metrics"
 	"triplea/internal/report"
 	"triplea/internal/simx"
+	"triplea/internal/sweep"
 	"triplea/internal/workload"
 )
 
@@ -167,24 +168,32 @@ func (s *Suite) Fig12() (*report.Table, error) {
 }
 
 func (s *Suite) fig12() (*report.Table, error) {
-	t := report.NewTable("Figure 12: hot-cluster sensitivity (read micro-benchmark)",
-		"hot", "base lat(us)", "base IOPS", "3A lat(us)", "3A IOPS")
+	points := 6
+	if s.Fig12Points > 0 {
+		points = s.Fig12Points
+	}
 	requests := 40_000
 	if s.Requests > 0 {
 		requests = s.Requests
 	}
-	for h := 1; h <= 6; h++ {
-		p := microProfile(h, requests, 1.5)
-		r, err := s.RunProfile(p)
+	cfg, opts := s.Config, s.Options
+	outs, err := sweep.Map(s.workers(), sweep.Indexed(points, s.Seed), func(sp sweep.Spec) ([]byte, error) {
+		h := sp.Index + 1
+		r, err := runPair(cfg, opts, sp.Seed, microProfile(h, requests, 1.5))
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%d", h),
-			report.FormatUS(int64(r.Base.AvgLatency())),
-			report.FormatCount(r.Base.SustainedIOPS(SustainedWindow)),
-			report.FormatUS(int64(r.Auto.AvgLatency())),
-			report.FormatCount(r.Auto.SustainedIOPS(SustainedWindow)),
-		)
+		return encodeRows([][]string{fig12Row(h, r)}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 12: hot-cluster sensitivity (read micro-benchmark)",
+		"hot", "base lat(us)", "base IOPS", "3A lat(us)", "3A IOPS")
+	for _, b := range outs {
+		for _, row := range decodeRows(b) {
+			t.AddRow(row...)
+		}
 	}
 	return t, nil
 }
@@ -192,39 +201,6 @@ func (s *Suite) fig12() (*report.Table, error) {
 // NetworkSizes are the clusters-per-switch sweep points (paper: 4x8 ..
 // 4x20).
 var NetworkSizes = []int{8, 12, 16, 20}
-
-// SweepResult holds the network-size sweep backing Figures 13-15.
-type SweepResult struct {
-	Size int
-	Run  *RunResult
-}
-
-// networkSweep runs the micro-benchmark across network sizes, caching
-// in the suite (Figures 13, 14 and 15 share it).
-func (s *Suite) networkSweep() ([]SweepResult, error) {
-	var out []SweepResult
-	requests := 40_000
-	if s.Requests > 0 {
-		requests = s.Requests
-	}
-	for _, size := range NetworkSizes {
-		key := fmt.Sprintf("sweep-%d", size)
-		if r, ok := s.cache[key]; ok {
-			out = append(out, SweepResult{Size: size, Run: r})
-			continue
-		}
-		sub := *s
-		sub.Config.Geometry.ClustersPerSwitch = size
-		p := microProfile(4, requests, 1.5)
-		r, err := sub.RunProfile(p)
-		if err != nil {
-			return nil, err
-		}
-		s.cache[key] = r
-		out = append(out, SweepResult{Size: size, Run: r})
-	}
-	return out, nil
-}
 
 // Fig13 reports normalized IOPS and latency across network sizes
 // (paper: Triple-A improves as the network grows — more neighbours to
@@ -234,18 +210,14 @@ func (s *Suite) Fig13() (*report.Table, error) {
 }
 
 func (s *Suite) fig13() (*report.Table, error) {
-	sweep, err := s.networkSweep()
+	pts, err := s.networkPoints()
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Figure 13: network size sensitivity (normalized to baseline at each size)",
 		"clusters/switch", "normLat", "latGain", "normIOPS")
-	for _, sw := range sweep {
-		nl := sw.Run.NormLatency()
-		t.AddRow(fmt.Sprintf("%d", sw.Size),
-			fmt.Sprintf("%.3f", nl),
-			fmt.Sprintf("%.1fx", 1/nl),
-			fmt.Sprintf("%.2f", sw.Run.NormIOPS()))
+	for _, pt := range pts {
+		t.AddRow(pt.fig13...)
 	}
 	return t, nil
 }
@@ -258,17 +230,14 @@ func (s *Suite) Fig14() (*report.Table, error) {
 }
 
 func (s *Suite) fig14() (*report.Table, error) {
-	sweep, err := s.networkSweep()
+	pts, err := s.networkPoints()
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Figure 14: contention times normalized to baseline, by network size",
 		"clusters/switch", "linkCont", "storCont")
-	for _, sw := range sweep {
-		b, a := sw.Run.Base.MeanBreakdown(), sw.Run.Auto.MeanBreakdown()
-		t.AddRow(fmt.Sprintf("%d", sw.Size),
-			norm(a.LinkContention(), b.LinkContention()),
-			norm(a.StorageContention(), b.StorageContention()))
+	for _, pt := range pts {
+		t.AddRow(pt.fig14...)
 	}
 	return t, nil
 }
@@ -282,29 +251,17 @@ func (s *Suite) Fig15() (*report.Table, error) {
 }
 
 func (s *Suite) fig15() (*report.Table, error) {
-	sweep, err := s.networkSweep()
+	pts, err := s.networkPoints()
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Figure 15: execution time breakdown (us per request)",
 		"config", "RCstall", "swStall", "EPwait", "linkWait", "storWait", "texe", "xfer", "fabric")
-	row := func(label string, mb metrics.Breakdown) {
-		t.AddRow(label,
-			report.FormatUS(int64(mb.RCStall)),
-			report.FormatUS(int64(mb.SwitchStall)),
-			report.FormatUS(int64(mb.EPWait)),
-			report.FormatUS(int64(mb.LinkWait)),
-			report.FormatUS(int64(mb.StorageWait)),
-			report.FormatUS(int64(mb.Texe)),
-			report.FormatUS(int64(mb.LinkXfer)),
-			report.FormatUS(int64(mb.FabricXfer)),
-		)
+	for _, pt := range pts {
+		t.AddRow(pt.fig15Base...)
 	}
-	for _, sw := range sweep {
-		row(fmt.Sprintf("base-4x%d", sw.Size), sw.Run.Base.MeanBreakdown())
-	}
-	for _, sw := range sweep {
-		row(fmt.Sprintf("3A-4x%d", sw.Size), sw.Run.Auto.MeanBreakdown())
+	for _, pt := range pts {
+		t.AddRow(pt.fig15Auto...)
 	}
 	return t, nil
 }

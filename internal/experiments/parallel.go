@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"triplea/internal/array"
+	"triplea/internal/core"
+	"triplea/internal/fault"
+	"triplea/internal/metrics"
+	"triplea/internal/report"
+	"triplea/internal/simx"
+	"triplea/internal/sweep"
+	"triplea/internal/workload"
+)
+
+// This file is the bridge between the suite and the isosafe-certified
+// sweep pool (internal/sweep). The rules the analyzer enforces shape
+// the code: every closure handed to sweep.Map captures only registered
+// deep-copy-safe values (array.Config, core.Options, ints, seeds, and
+// effectively-const package vars like NetworkSizes — never the *Suite
+// itself), each point function builds its whole arena (workload,
+// array, manager, recorder) inside the call, and results come back as
+// rendered row cells, so the assembled table is byte-identical for any
+// worker count.
+
+// workers reports how many pool workers the suite's sweeps may use.
+// Under -tags simcheck the leak ledger (simx.CheckActive) is
+// process-global mutable state, so sweeps serialize regardless of
+// Parallel.
+func (s *Suite) workers() int {
+	if s.Parallel <= 1 || simx.CheckActive() {
+		return 1
+	}
+	return s.Parallel
+}
+
+// Row cells cross the worker boundary as bytes: cells joined by the
+// ASCII unit separator, rows by the record separator. No rendered cell
+// contains either byte.
+const (
+	cellSep = "\x1f"
+	rowSep  = "\x1e"
+)
+
+func encodeRows(rows [][]string) []byte {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = strings.Join(r, cellSep)
+	}
+	return []byte(strings.Join(parts, rowSep))
+}
+
+func decodeRows(b []byte) [][]string {
+	if len(b) == 0 {
+		return nil
+	}
+	var rows [][]string
+	for _, part := range strings.Split(string(b), rowSep) {
+		rows = append(rows, strings.Split(part, cellSep))
+	}
+	return rows
+}
+
+// runOnePoint executes a profile on one array. It is the
+// self-contained form of (*Suite).runOne: everything a sweep worker
+// needs arrives as a value parameter.
+func runOnePoint(cfg array.Config, seed uint64, p workload.Profile, opts *core.Options) (*metrics.Recorder, *array.Array, *core.Manager, error) {
+	reqs, _, err := workload.Generate(cfg.Geometry, p, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a, err := array.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var m *core.Manager
+	if opts != nil {
+		m = core.Attach(a, *opts)
+	}
+	rec, err := a.Run(reqs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: %s: %w", p.Name, err)
+	}
+	return rec, a, m, nil
+}
+
+// runPair executes a profile on the baseline and on Triple-A — the
+// self-contained form of (*Suite).RunProfile, shared by the serial and
+// parallel paths so they cannot diverge.
+func runPair(cfg array.Config, opts core.Options, seed uint64, p workload.Profile) (*RunResult, error) {
+	_, gen, err := workload.Generate(cfg.Geometry, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, baseArr, _, err := runOnePoint(cfg, seed, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	auto, autoArr, mgr, err := runOnePoint(cfg, seed, p, &opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Profile:        p,
+		Gen:            gen,
+		Base:           base,
+		Auto:           auto,
+		BaseFTL:        baseArr.FTL().Stats(),
+		AutoFTL:        autoArr.FTL().Stats(),
+		Manager:        mgr.Stats(),
+		BaseGC:         baseArr.GCRounds(),
+		AutoGC:         autoArr.GCRounds(),
+		BaseMigrations: baseArr.Migrations(),
+		AutoMoved:      autoArr.Migrations(),
+		BaseErases:     baseArr.FTL().TotalErases(),
+		AutoErases:     autoArr.FTL().TotalErases(),
+	}, nil
+}
+
+// fig12Row renders one hot-cluster sweep point exactly as the serial
+// Figure 12 loop always has.
+func fig12Row(h int, r *RunResult) []string {
+	return []string{
+		fmt.Sprintf("%d", h),
+		report.FormatUS(int64(r.Base.AvgLatency())),
+		report.FormatCount(r.Base.SustainedIOPS(SustainedWindow)),
+		report.FormatUS(int64(r.Auto.AvgLatency())),
+		report.FormatCount(r.Auto.SustainedIOPS(SustainedWindow)),
+	}
+}
+
+func fig13Row(size int, r *RunResult) []string {
+	nl := r.NormLatency()
+	return []string{
+		fmt.Sprintf("%d", size),
+		fmt.Sprintf("%.3f", nl),
+		fmt.Sprintf("%.1fx", 1/nl),
+		fmt.Sprintf("%.2f", r.NormIOPS()),
+	}
+}
+
+func fig14Row(size int, r *RunResult) []string {
+	b, a := r.Base.MeanBreakdown(), r.Auto.MeanBreakdown()
+	return []string{
+		fmt.Sprintf("%d", size),
+		norm(a.LinkContention(), b.LinkContention()),
+		norm(a.StorageContention(), b.StorageContention()),
+	}
+}
+
+func fig15Row(label string, mb metrics.Breakdown) []string {
+	return []string{label,
+		report.FormatUS(int64(mb.RCStall)),
+		report.FormatUS(int64(mb.SwitchStall)),
+		report.FormatUS(int64(mb.EPWait)),
+		report.FormatUS(int64(mb.LinkWait)),
+		report.FormatUS(int64(mb.StorageWait)),
+		report.FormatUS(int64(mb.Texe)),
+		report.FormatUS(int64(mb.LinkXfer)),
+		report.FormatUS(int64(mb.FabricXfer)),
+	}
+}
+
+// networkPoint carries the rendered rows one network-size run
+// contributes to Figures 13, 14 and 15.
+type networkPoint struct {
+	fig13, fig14         []string
+	fig15Base, fig15Auto []string
+}
+
+// networkPoints runs the micro-benchmark across network sizes through
+// the sweep pool, caching the rendered rows (Figures 13-15 share the
+// sweep, so the pair runs happen once regardless of which figure asks
+// first).
+func (s *Suite) networkPoints() ([]networkPoint, error) {
+	if s.netPoints != nil {
+		return s.netPoints, nil
+	}
+	requests := 40_000
+	if s.Requests > 0 {
+		requests = s.Requests
+	}
+	cfg, opts := s.Config, s.Options
+	outs, err := sweep.Map(s.workers(), sweep.Indexed(len(NetworkSizes), s.Seed), func(sp sweep.Spec) ([]byte, error) {
+		size := NetworkSizes[sp.Index]
+		c := cfg
+		c.Geometry.ClustersPerSwitch = size
+		r, err := runPair(c, opts, sp.Seed, microProfile(4, requests, 1.5))
+		if err != nil {
+			return nil, err
+		}
+		return encodeRows([][]string{
+			fig13Row(size, r),
+			fig14Row(size, r),
+			fig15Row(fmt.Sprintf("base-4x%d", size), r.Base.MeanBreakdown()),
+			fig15Row(fmt.Sprintf("3A-4x%d", size), r.Auto.MeanBreakdown()),
+		}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]networkPoint, len(outs))
+	for i, b := range outs {
+		rows := decodeRows(b)
+		pts[i] = networkPoint{fig13: rows[0], fig14: rows[1], fig15Base: rows[2], fig15Auto: rows[3]}
+	}
+	s.netPoints = pts
+	return pts, nil
+}
+
+// faultPoint runs one row of the degraded-array study: the full
+// arena — workload, fault plan, array, injector — is built inside the
+// call, so two rows can run on different workers without sharing
+// anything.
+func faultPoint(cfg array.Config, opts core.Options, seed uint64, requests int, autonomic bool) ([]byte, error) {
+	p := microProfile(2, 20_000, 1.0)
+	p.Name = "fault-mixed"
+	p.ReadRatio = 0.6
+	p.WriteRandomness = 1
+	if requests > 0 {
+		p.Requests = requests
+	}
+	reqs, _, err := workload.Generate(cfg.Geometry, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	span := reqs[len(reqs)-1].Arrival
+	plan := fault.ReferencePlan(cfg.Geometry, span)
+	// Phase boundaries come from the plan itself: healthy until the FIMM
+	// death, degraded until the replug, recovered after.
+	tDeath := plan.Events[0].At
+	tReplug := plan.Events[2].At
+
+	name := "autonomic-off"
+	if autonomic {
+		name = "autonomic-on"
+	}
+	a, err := array.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if autonomic {
+		core.Attach(a, opts)
+	}
+	inj := fault.Attach(a, plan, fault.Options{Recover: autonomic})
+	rec, err := a.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault study %s: %w", name, err)
+	}
+	fs := a.FaultStats()
+	is := inj.Stats()
+	row := FaultRow{
+		Name:          name,
+		AvailHealthy:  rec.Availability(0, tDeath),
+		AvailDegraded: rec.Availability(tDeath, tReplug),
+		AvailPost:     rec.Availability(tReplug, endOfRun),
+		Failed:        fs.RequestsFailed,
+		Remapped:      fs.ReadsRemapped,
+		Redirected:    fs.WritesRedirected,
+		Evacuated:     is.Evacuated,
+		AvgLat:        rec.AvgLatency(),
+	}
+	for _, r := range is.Recoveries {
+		row.TTR += r.TTR()
+	}
+	return encodeRows([][]string{faultRowCells(row)}), nil
+}

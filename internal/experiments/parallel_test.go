@@ -1,0 +1,72 @@
+//go:build !simcheck
+
+// Equivalence pins for the parallel sweep routing: the rendered
+// tables of every sweep-backed experiment must be byte-identical for
+// any worker count. Guarded by !simcheck because Suite.workers()
+// deliberately clamps to serial under the leak ledger (the ledger is
+// process-global), which would make the Parallel settings no-ops.
+
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAt runs one named experiment at a given pool width on a fresh
+// reduced-size suite and returns the rendered bytes.
+func renderAt(t *testing.T, name string, parallel int) []byte {
+	t.Helper()
+	s := testSuite()
+	s.Requests = 1500
+	s.Parallel = parallel
+	var buf bytes.Buffer
+	if err := s.Run(name, &buf); err != nil {
+		t.Fatalf("%s (parallel=%d): %v", name, parallel, err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelEquivalence proves the sweep-backed experiments render
+// byte-identically whether the points run serially, on 2 workers, or
+// on 8 workers (more workers than points, exercising idle-worker
+// shutdown).
+func TestParallelEquivalence(t *testing.T) {
+	for _, name := range []string{"fig12", "fig13", "fault"} {
+		serial := renderAt(t, name, 1)
+		if len(serial) == 0 {
+			t.Fatalf("%s: empty serial render", name)
+		}
+		for _, workers := range []int{2, 8} {
+			got := renderAt(t, name, workers)
+			if !bytes.Equal(serial, got) {
+				t.Errorf("%s: parallel=%d output diverges from serial\nserial:\n%s\nparallel:\n%s",
+					name, workers, serial, got)
+			}
+		}
+	}
+}
+
+// TestParallelSharedCache proves Fig13/Fig14/Fig15 agree on the shared
+// network-point cache regardless of which figure populates it first,
+// and that a parallel-populated cache matches a serial one.
+func TestParallelSharedCache(t *testing.T) {
+	render := func(parallel int, order []string) []byte {
+		s := testSuite()
+		s.Requests = 1500
+		s.Parallel = parallel
+		var buf bytes.Buffer
+		for _, name := range order {
+			if err := s.Run(name, &buf); err != nil {
+				t.Fatalf("%s (parallel=%d): %v", name, parallel, err)
+			}
+		}
+		return buf.Bytes()
+	}
+	order := []string{"fig14", "fig15", "fig13"}
+	serial := render(1, order)
+	if got := render(4, order); !bytes.Equal(serial, got) {
+		t.Errorf("network-point cache diverges between serial and parallel population\nserial:\n%s\nparallel:\n%s",
+			serial, got)
+	}
+}

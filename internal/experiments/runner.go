@@ -7,91 +7,85 @@ import (
 	"triplea/internal/report"
 )
 
-// Experiment names accepted by Run and the bench command.
-var Names = []string{
-	"table1", "table2", "fig1", "fig9", "fig10", "fig11",
-	"fig12", "fig13", "fig14", "fig15", "fig16", "wear", "dram", "cost",
-	"fault",
+// experimentSpec ties one experiment name to its runner. Names, Run
+// and RunAll all derive from the registry slice below — the single
+// source of truth, so registration cannot drift from the name list
+// (the old switch duplicated it).
+type experimentSpec struct {
+	name string
+	run  func(*Suite, io.Writer) error
 }
 
-// Run executes one named experiment and renders it to w.
-func (s *Suite) Run(name string, w io.Writer) error {
-	render := func(t *report.Table, err error) error {
-		if err != nil {
-			return err
-		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		_, err = fmt.Fprintln(w)
+// renderOne renders a finished table followed by a blank separator
+// line, the contract every registry entry shares.
+func renderOne(w io.Writer, t *report.Table, err error) error {
+	if err != nil {
 		return err
 	}
-	switch name {
-	case "table1":
-		t, err := s.Table1()
-		return render(t, err)
-	case "table2":
-		t, err := s.Table2()
-		return render(t, err)
-	case "fig1":
-		_, t, err := s.Fig1()
-		return render(t, err)
-	case "fig9":
-		t, err := s.Fig9()
-		return render(t, err)
-	case "fig10":
-		t, err := s.Fig10()
-		return render(t, err)
-	case "fig11":
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// registry lists every experiment in paper order.
+var registry = []experimentSpec{
+	{"table1", func(s *Suite, w io.Writer) error { t, err := s.Table1(); return renderOne(w, t, err) }},
+	{"table2", func(s *Suite, w io.Writer) error { t, err := s.Table2(); return renderOne(w, t, err) }},
+	{"fig1", func(s *Suite, w io.Writer) error { _, t, err := s.Fig1(); return renderOne(w, t, err) }},
+	{"fig9", func(s *Suite, w io.Writer) error { t, err := s.Fig9(); return renderOne(w, t, err) }},
+	{"fig10", func(s *Suite, w io.Writer) error { t, err := s.Fig10(); return renderOne(w, t, err) }},
+	{"fig11", func(s *Suite, w io.Writer) error {
 		tables, err := s.Fig11()
 		if err != nil {
 			return err
 		}
 		for _, t := range tables {
-			if err := render(t, nil); err != nil {
+			if err := renderOne(w, t, nil); err != nil {
 				return err
 			}
 		}
 		return nil
-	case "fig12":
-		t, err := s.Fig12()
-		return render(t, err)
-	case "fig13":
-		t, err := s.Fig13()
-		return render(t, err)
-	case "fig14":
-		t, err := s.Fig14()
-		return render(t, err)
-	case "fig15":
-		t, err := s.Fig15()
-		return render(t, err)
-	case "fig16":
-		_, t, err := s.Fig16()
-		return render(t, err)
-	case "wear":
-		_, t, err := s.Wear()
-		return render(t, err)
-	case "dram":
-		t, err := s.DRAMStudy()
-		return render(t, err)
-	case "cost":
-		t, err := s.CostStudy()
-		return render(t, err)
-	case "fault":
-		t, err := s.FaultStudy()
-		return render(t, err)
-	default:
-		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}},
+	{"fig12", func(s *Suite, w io.Writer) error { t, err := s.Fig12(); return renderOne(w, t, err) }},
+	{"fig13", func(s *Suite, w io.Writer) error { t, err := s.Fig13(); return renderOne(w, t, err) }},
+	{"fig14", func(s *Suite, w io.Writer) error { t, err := s.Fig14(); return renderOne(w, t, err) }},
+	{"fig15", func(s *Suite, w io.Writer) error { t, err := s.Fig15(); return renderOne(w, t, err) }},
+	{"fig16", func(s *Suite, w io.Writer) error { _, t, err := s.Fig16(); return renderOne(w, t, err) }},
+	{"wear", func(s *Suite, w io.Writer) error { _, t, err := s.Wear(); return renderOne(w, t, err) }},
+	{"dram", func(s *Suite, w io.Writer) error { t, err := s.DRAMStudy(); return renderOne(w, t, err) }},
+	{"cost", func(s *Suite, w io.Writer) error { t, err := s.CostStudy(); return renderOne(w, t, err) }},
+	{"fault", func(s *Suite, w io.Writer) error { t, err := s.FaultStudy(); return renderOne(w, t, err) }},
+}
+
+// Names lists the experiment names accepted by Run and the bench
+// command, derived from the registry at init.
+var Names = func() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
 	}
+	return names
+}()
+
+// Run executes one named experiment and renders it to w.
+func (s *Suite) Run(name string, w io.Writer) error {
+	for _, e := range registry {
+		if e.name == name {
+			return e.run(s, w)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 }
 
 // RunAll executes every experiment in order.
 func (s *Suite) RunAll(w io.Writer) error {
-	for _, name := range Names {
-		if _, err := fmt.Fprintf(w, "== %s ==\n", name); err != nil {
+	for _, e := range registry {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", e.name); err != nil {
 			return err
 		}
-		if err := s.Run(name, w); err != nil {
+		if err := e.run(s, w); err != nil {
 			return err
 		}
 	}

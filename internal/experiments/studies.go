@@ -6,8 +6,8 @@ import (
 	"triplea/internal/array"
 	"triplea/internal/core"
 	"triplea/internal/cost"
-	"triplea/internal/fault"
 	"triplea/internal/report"
+	"triplea/internal/sweep"
 	"triplea/internal/units"
 	"triplea/internal/workload"
 )
@@ -90,61 +90,24 @@ func (s *Suite) FaultStudy() (*report.Table, error) {
 }
 
 func (s *Suite) faultStudy() (*report.Table, error) {
-	p := microProfile(2, 20_000, 1.0)
-	p.Name = "fault-mixed"
-	p.ReadRatio = 0.6
-	p.WriteRandomness = 1
-	p = s.prepare(p)
-	reqs, _, err := workload.Generate(s.Config.Geometry, p, s.Seed)
+	cfg, opts := s.Config, s.Options
+	requests := s.Requests
+	outs, err := sweep.Map(s.workers(), sweep.Indexed(2, s.Seed), func(sp sweep.Spec) ([]byte, error) {
+		// Each row rebuilds its whole arena (workload, plan, array,
+		// injector) inside faultPoint, so off/on can run on different
+		// workers without sharing anything.
+		return faultPoint(cfg, opts, sp.Seed, requests, sp.Index == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	span := reqs[len(reqs)-1].Arrival
-	plan := fault.ReferencePlan(s.Config.Geometry, span)
-	// Phase boundaries come from the plan itself: healthy until the FIMM
-	// death, degraded until the replug, recovered after.
-	tDeath := plan.Events[0].At
-	tReplug := plan.Events[2].At
-
-	rows := make([]FaultRow, 0, 2)
-	for _, v := range []struct {
-		name      string
-		autonomic bool
-	}{
-		{"autonomic-off", false},
-		{"autonomic-on", true},
-	} {
-		a, err := array.New(s.Config)
-		if err != nil {
-			return nil, err
+	t := newFaultTable()
+	for _, b := range outs {
+		for _, row := range decodeRows(b) {
+			t.AddRow(row...)
 		}
-		if v.autonomic {
-			core.Attach(a, s.Options)
-		}
-		inj := fault.Attach(a, plan, fault.Options{Recover: v.autonomic})
-		rec, err := a.Run(reqs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fault study %s: %w", v.name, err)
-		}
-		fs := a.FaultStats()
-		is := inj.Stats()
-		row := FaultRow{
-			Name:          v.name,
-			AvailHealthy:  rec.Availability(0, tDeath),
-			AvailDegraded: rec.Availability(tDeath, tReplug),
-			AvailPost:     rec.Availability(tReplug, endOfRun),
-			Failed:        fs.RequestsFailed,
-			Remapped:      fs.ReadsRemapped,
-			Redirected:    fs.WritesRedirected,
-			Evacuated:     is.Evacuated,
-			AvgLat:        rec.AvgLatency(),
-		}
-		for _, r := range is.Recoveries {
-			row.TTR += r.TTR()
-		}
-		rows = append(rows, row)
 	}
-	return faultTable(rows), nil
+	return t, nil
 }
 
 // CostStudy reproduces the paper's cost argument (Sections 3.1, 6.5):

@@ -65,11 +65,22 @@ type Suite struct {
 	Seed     uint64
 	Requests int // if > 0, overrides every profile's request count
 
-	cache  map[string]*RunResult
-	tables map[string]*report.Table
-	fig1   *Fig1Result
-	fig16  *Fig16Result
-	wear   *WearResult
+	// Parallel is the sweep-pool width for multi-point experiments
+	// (Fig12, Fig13-15, the fault study). 0 or 1 runs serially; any
+	// width produces byte-identical tables (internal/sweep reassembles
+	// by spec index, and parallel_test.go pins the equivalence).
+	Parallel int
+
+	// Fig12Points overrides the hot-cluster sweep's point count
+	// (default 6, the paper's range; the sweep benchmark uses 16).
+	Fig12Points int
+
+	cache     map[string]*RunResult
+	tables    map[string]*report.Table
+	fig1      *Fig1Result
+	fig16     *Fig16Result
+	wear      *WearResult
+	netPoints []networkPoint
 }
 
 // NewSuite returns a suite on the paper's default configuration.
@@ -105,58 +116,19 @@ func (s *Suite) prepare(p workload.Profile) workload.Profile {
 	return p
 }
 
-// runOne executes a profile on one array.
+// runOne executes a profile on one array (see runOnePoint for the
+// self-contained form sweep workers use).
 func (s *Suite) runOne(p workload.Profile, opts *core.Options) (*metrics.Recorder, *array.Array, *core.Manager, error) {
-	reqs, _, err := workload.Generate(s.Config.Geometry, p, s.Seed)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	a, err := array.New(s.Config)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var m *core.Manager
-	if opts != nil {
-		m = core.Attach(a, *opts)
-	}
-	rec, err := a.Run(reqs)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("experiments: %s: %w", p.Name, err)
-	}
-	return rec, a, m, nil
+	return runOnePoint(s.Config, s.Seed, p, opts)
 }
 
 // RunProfile executes a profile on the baseline and on Triple-A,
 // exactly as given (suite-level request overrides are applied by
-// Workload, not here, so sweeps can scale counts themselves).
+// Workload, not here, so sweeps can scale counts themselves). It
+// delegates to runPair, the same code path sweep workers run, so the
+// serial and parallel routes cannot diverge.
 func (s *Suite) RunProfile(p workload.Profile) (*RunResult, error) {
-	_, gen, err := workload.Generate(s.Config.Geometry, p, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	base, baseArr, _, err := s.runOne(p, nil)
-	if err != nil {
-		return nil, err
-	}
-	auto, autoArr, mgr, err := s.runOne(p, &s.Options)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Profile:        p,
-		Gen:            gen,
-		Base:           base,
-		Auto:           auto,
-		BaseFTL:        baseArr.FTL().Stats(),
-		AutoFTL:        autoArr.FTL().Stats(),
-		Manager:        mgr.Stats(),
-		BaseGC:         baseArr.GCRounds(),
-		AutoGC:         autoArr.GCRounds(),
-		BaseMigrations: baseArr.Migrations(),
-		AutoMoved:      autoArr.Migrations(),
-		BaseErases:     baseArr.FTL().TotalErases(),
-		AutoErases:     autoArr.FTL().TotalErases(),
-	}, nil
+	return runPair(s.Config, s.Options, s.Seed, p)
 }
 
 // Workload returns the cached pair run for a Table 1 workload.

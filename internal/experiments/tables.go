@@ -84,27 +84,39 @@ type FaultRow struct {
 	AvgLat        simx.Time
 }
 
-// faultTable renders the degraded-array study.
-func faultTable(rows []FaultRow) *report.Table {
-	t := report.NewTable(
+// newFaultTable builds the degraded-array study's header; rows arrive
+// from faultRowCells (serially or through the sweep pool).
+func newFaultTable() *report.Table {
+	return report.NewTable(
 		"Degraded-array study: reference fault plan (FIMM death + cluster hot-swap)",
 		"config", "avail pre%", "avail degr%", "avail post%",
 		"failed", "remapped", "redirected", "evac pages", "TTR(us)", "avgLat(us)")
+}
+
+// faultRowCells renders one configuration's line of the degraded-array
+// table.
+func faultRowCells(r FaultRow) []string {
 	pct := func(f float64) string { return fmt.Sprintf("%.2f", f*100) }
+	ttr := "-"
+	if r.TTR > 0 {
+		ttr = report.FormatUS(int64(r.TTR))
+	}
+	return []string{r.Name,
+		pct(r.AvailHealthy), pct(r.AvailDegraded), pct(r.AvailPost),
+		fmt.Sprintf("%d", r.Failed),
+		fmt.Sprintf("%d", r.Remapped),
+		fmt.Sprintf("%d", r.Redirected),
+		fmt.Sprintf("%d", r.Evacuated),
+		ttr,
+		report.FormatUS(int64(r.AvgLat)),
+	}
+}
+
+// faultTable renders the degraded-array study.
+func faultTable(rows []FaultRow) *report.Table {
+	t := newFaultTable()
 	for _, r := range rows {
-		ttr := "-"
-		if r.TTR > 0 {
-			ttr = report.FormatUS(int64(r.TTR))
-		}
-		t.AddRow(r.Name,
-			pct(r.AvailHealthy), pct(r.AvailDegraded), pct(r.AvailPost),
-			fmt.Sprintf("%d", r.Failed),
-			fmt.Sprintf("%d", r.Remapped),
-			fmt.Sprintf("%d", r.Redirected),
-			fmt.Sprintf("%d", r.Evacuated),
-			ttr,
-			report.FormatUS(int64(r.AvgLat)),
-		)
+		t.AddRow(faultRowCells(r)...)
 	}
 	return t
 }

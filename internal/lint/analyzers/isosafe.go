@@ -1,0 +1,476 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"triplea/internal/lint/analysis"
+)
+
+// Isosafe certifies the worker-isolation contract that makes the
+// parallel sweep runner (internal/sweep) safe to trust with the
+// simulator's determinism budget. The engine's reproducibility story
+// rests on two facts: each simulation run is single-threaded, and runs
+// share nothing mutable. nospawn proves the first by banning
+// concurrency outside the orchestration scope; isosafe proves the
+// second with four rule classes:
+//
+//  1. No mutable package-level state in simulation packages. Every
+//     package-level var in the sim core (and its pure data/support
+//     packages: topo, workload, metrics, trace) must be
+//     effectively-const — never written or aliased outside init. The
+//     audited escape is //simlint:shared on the write or on the var's
+//     declaration.
+//
+//  2. Closure-capture isolation. A function literal launched by `go`
+//     in the orchestration scope, or handed to a worker sink
+//     (sweep.Map), may capture only registered deep-copy-safe values:
+//     basic types, value-semantics config structs (array.Config,
+//     core.Options, workload.Profile, topo.Geometry), sweep.Spec,
+//     channels of registered handoff types, and sweep.RunFunc (whose
+//     values are themselves checked at their sink sites). Anything
+//     whose captures cannot be seen — a method value, a func variable
+//     — is rejected as unverifiable.
+//
+//  3. Handoff-by-value. Only registered immutable handoff types
+//     (sweep.Spec, sweep.result) may cross a worker channel boundary.
+//
+//  4. Orchestration containment. Even inside internal/sweep, sync and
+//     sync/atomic imports and select statements stay banned: the pool
+//     is channel-only and drains deterministically by counting.
+//
+// The audited escape for rules 2-4 is //simlint:isosafe.
+var Isosafe = &analysis.Analyzer{
+	Name: "isosafe",
+	Doc:  "certify worker isolation: effectively-const sim globals, deep-copy-safe closure captures, handoff-by-value channels, contained orchestration",
+	Run:  runIsosafe,
+}
+
+// deepCopySafeTypes registers the named types a worker closure may
+// capture. Registration is an audit, not a structural proof:
+// array.Config carries a DegradedFIMMs map that is only ever read
+// after construction, and the entry records that review (see
+// docs/static-analysis.md for the registry policy).
+var deepCopySafeTypes = [][2]string{
+	{"internal/sweep", "Spec"},
+	{"internal/array", "Config"},
+	{"internal/core", "Options"},
+	{"internal/workload", "Profile"},
+	{"internal/topo", "Geometry"},
+}
+
+// handoffTypes registers the named types allowed to cross a worker
+// channel boundary (rule 3). Ownership of any interior slice
+// transfers with the send; the audit covers that convention.
+var handoffTypes = [][2]string{
+	{"internal/sweep", "Spec"},
+	{"internal/sweep", "result"},
+}
+
+// workerFuncTypes registers named function types that may be captured
+// by a worker closure: their values are checked at every sink site
+// that produces them, so holding one does not smuggle state.
+var workerFuncTypes = [][2]string{
+	{"internal/sweep", "RunFunc"},
+}
+
+func runIsosafe(pass *analysis.Pass) (any, error) {
+	path := ""
+	if pass.Pkg != nil {
+		path = pass.Pkg.Path()
+	}
+	if inPackageSet(path, isoStatePackageSuffixes) {
+		isoCheckSimGlobals(pass)
+	}
+	if inPackageSet(path, orchestrationPackageSuffixes) {
+		isoCheckOrchestration(pass)
+	}
+	isoCheckWorkerSinks(pass)
+	return nil, nil
+}
+
+// ---- rule 1: effectively-const simulation globals ----
+
+func isoCheckSimGlobals(pass *analysis.Pass) {
+	for _, w := range isoGlobalWrites(pass) {
+		if suppressed(pass, w.pos, "shared") || suppressed(pass, w.v.Pos(), "shared") {
+			continue
+		}
+		pass.Reportf(w.pos,
+			"%s package-level var %s in simulation package %s: sim-core state must be effectively-const (annotate the declaration //simlint:shared after an audit)",
+			w.what, w.v.Name(), pass.Pkg.Name())
+	}
+}
+
+type isoWrite struct {
+	v    *types.Var
+	pos  token.Pos
+	what string
+}
+
+// isoGlobalWrites collects every write to or alias of a package-level
+// var outside init functions and test files.
+func isoGlobalWrites(pass *analysis.Pass) []isoWrite {
+	info := pass.TypesInfo
+	var writes []isoWrite
+	record := func(e ast.Expr, pos token.Pos, what string) {
+		if e == nil {
+			return
+		}
+		if v := isoPkgLevelVar(info, e); v != nil {
+			writes = append(writes, isoWrite{v: v, pos: pos, what: what})
+		}
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				// Writes during package initialization are the one
+				// sanctioned mutation window.
+				if n.Recv == nil && n.Name.Name == "init" {
+					return false
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					record(lhs, n.Pos(), "write to")
+				}
+			case *ast.IncDecStmt:
+				record(n.X, n.Pos(), "write to")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					record(n.X, n.Pos(), "alias (&) of")
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.ASSIGN {
+					record(n.Key, n.Pos(), "write to")
+					record(n.Value, n.Pos(), "write to")
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// isoPkgLevelVar resolves the base of an lvalue chain (selectors,
+// indexes, derefs) to a package-level var, if that is what it roots in.
+func isoPkgLevelVar(info *types.Info, e ast.Expr) *types.Var {
+	for e != nil {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if _, ok := importedPackage(info, x.X); ok {
+				e = x.Sel
+			} else {
+				e = x.X
+			}
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// ---- rules 2-4 inside the orchestration scope ----
+
+func isoCheckOrchestration(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				isoReport(pass, imp.Pos(),
+					"import of %s in the orchestration scope: the sweep pool is channel-only; shared-memory synchronization defeats deterministic reassembly", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				isoReport(pass, n.Pos(),
+					"select statement in the orchestration scope: nondeterministic case choice has no place in a pool that drains by counting")
+			case *ast.GoStmt:
+				isoCheckSpawn(pass, n)
+			case *ast.SendStmt:
+				if t := isoChanElem(info, n.Chan); t != nil && !isHandoffType(t) {
+					isoReport(pass, n.Pos(),
+						"value of type %s crosses the worker channel boundary; only registered immutable handoff types may be sent",
+						types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.CallExpr:
+				isoCheckMakeChan(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+func isoChanElem(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return ch.Elem()
+}
+
+func isoCheckMakeChan(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 1 {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	if ch, isChan := t.Underlying().(*types.Chan); isChan && !isHandoffType(ch.Elem()) {
+		isoReport(pass, call.Pos(),
+			"channel of %s in the orchestration scope; the element type is not a registered handoff type",
+			types.TypeString(ch.Elem(), types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func isoCheckSpawn(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		isoReport(pass, g.Pos(),
+			"go statement must launch a function literal so isosafe can verify its captures; a function value may close over anything")
+		return
+	}
+	for _, arg := range g.Call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && !isDeepCopySafe(t) {
+			isoReport(pass, arg.Pos(),
+				"argument of type %s handed to a worker goroutine is not a registered deep-copy-safe type",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	isoCheckCaptures(pass, lit, "worker goroutine")
+}
+
+// isoCheckCaptures walks a worker function literal's body and reports
+// every free variable that is not provably safe to share: locals must
+// be registered deep-copy-safe types, same-package globals must be
+// effectively-const, and foreign globals are rejected outright.
+func isoCheckCaptures(pass *analysis.Pass, lit *ast.FuncLit, what string) {
+	info := pass.TypesInfo
+	seen := make(map[*types.Var]bool)
+	var mutated map[*types.Var]bool
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		seen[v] = true
+		if suppressed(pass, id.Pos(), "isosafe") {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			if v.Pkg().Path() != pass.Pkg.Path() {
+				pass.Reportf(id.Pos(),
+					"%s captures package-level var %s from package %s; isosafe cannot prove foreign globals immutable — pass the value through the spec instead",
+					what, v.Name(), v.Pkg().Name())
+				return true
+			}
+			if mutated == nil {
+				mutated = make(map[*types.Var]bool)
+				for _, w := range isoGlobalWrites(pass) {
+					mutated[w.v] = true
+				}
+			}
+			if mutated[v] {
+				pass.Reportf(id.Pos(),
+					"%s captures package-level var %s, which is written outside init; captured globals must be effectively-const",
+					what, v.Name())
+			}
+			return true
+		}
+		if !isDeepCopySafe(v.Type()) {
+			pass.Reportf(id.Pos(),
+				"%s captures %s (type %s), which is not a registered deep-copy-safe type; workers may share only seeds, value-semantics configs, and result channels",
+				what, v.Name(), types.TypeString(v.Type(), types.RelativeTo(pass.Pkg)))
+		}
+		return true
+	})
+}
+
+// ---- rule 2 at worker sinks, any package ----
+
+// isoCheckWorkerSinks finds calls into the orchestration scope that
+// accept function values (sweep.Map) and checks each one: a function
+// literal has its captures verified, a package-level function captures
+// nothing, and anything else is unverifiable.
+func isoCheckWorkerSinks(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || isoWorkerSinkCallee(info, call) == nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if _, isFunc := t.Underlying().(*types.Signature); !isFunc {
+					continue
+				}
+				if lit, isLit := unparen(arg).(*ast.FuncLit); isLit {
+					isoCheckCaptures(pass, lit, "worker closure")
+					continue
+				}
+				if isoTopLevelFuncRef(info, arg) {
+					continue
+				}
+				isoReport(pass, arg.Pos(),
+					"cannot verify the captures of this function value at a worker sink; pass a function literal or a package-level function")
+			}
+			return true
+		})
+	}
+}
+
+// isoWorkerSinkCallee resolves a call's callee to a function exported
+// by an orchestration package, if it is one.
+func isoWorkerSinkCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if !inPackageSet(fn.Pkg().Path(), orchestrationPackageSuffixes) {
+		return nil
+	}
+	return fn
+}
+
+// isoTopLevelFuncRef reports whether e names a package-level function
+// (which closes over nothing). A method value fails: it captures its
+// receiver invisibly.
+func isoTopLevelFuncRef(info *types.Info, e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[x].(*types.Func)
+		return ok && fn.Type().(*types.Signature).Recv() == nil
+	case *ast.SelectorExpr:
+		if _, isSel := info.Selections[x]; isSel {
+			return false
+		}
+		fn, ok := info.Uses[x.Sel].(*types.Func)
+		return ok && fn.Type().(*types.Signature).Recv() == nil
+	}
+	return false
+}
+
+// ---- the registries ----
+
+// isoNamed is like isNamed but does NOT unwrap pointers: *array.Config
+// is a shared reference, not a registered value type.
+func isoNamed(t types.Type, pkgSuffix, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Name() == name &&
+		hasPathSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+func isRegisteredNamed(t types.Type, table [][2]string) bool {
+	for _, r := range table {
+		if isoNamed(t, r[0], r[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandoffType reports whether t may cross a worker channel boundary.
+func isHandoffType(t types.Type) bool {
+	if isRegisteredNamed(t, handoffTypes) {
+		return true
+	}
+	if ch, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+		return isHandoffType(ch.Elem())
+	}
+	return false
+}
+
+// isDeepCopySafe reports whether a value of type t may be captured by
+// or handed to a worker: registered value types, basics (and named
+// types over basics), arrays of safe elements, channels of handoff
+// types, and registered worker func types.
+func isDeepCopySafe(t types.Type) bool {
+	t = types.Unalias(t)
+	if isRegisteredNamed(t, deepCopySafeTypes) ||
+		isRegisteredNamed(t, workerFuncTypes) ||
+		isRegisteredNamed(t, handoffTypes) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.Invalid
+	case *types.Chan:
+		return isHandoffType(u.Elem())
+	case *types.Array:
+		return isDeepCopySafe(u.Elem())
+	}
+	return false
+}
+
+func isoReport(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if suppressed(pass, pos, "isosafe") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,25 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+func TestIsosafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Isosafe,
+		// Rule 1: effectively-const globals in simulation-state packages.
+		"triplea/internal/workload",
+		// Rules 2-4 inside the orchestration scope.
+		"triplea/internal/sweep",
+		// Rule 2 at worker sinks called from an ordinary package.
+		"swuser",
+	)
+}
+
+func TestIsosafeCleanPool(t *testing.T) {
+	// The canonical pool shape produces no findings: checked captures,
+	// registered handoff types, no sync, no select.
+	analysistest.Run(t, "testdata", analyzers.Isosafe, "sweepok/internal/sweep")
+}

@@ -18,22 +18,25 @@ import (
 // race detector proves absence of data races, not absence of
 // order-dependent results.
 //
-// Banned inside the simulation packages (internal/simx, nand, fimm,
-// cluster, pcie, ftl, array, core): go statements, channel sends,
-// receives, selects, ranging over a channel, make(chan) and close, and
-// importing sync or sync/atomic. The CLI and reporting layer is
-// outside the scope and free to use concurrency. Test files are
-// exempt (driving a simulation from a test's timeout goroutine is
-// fine). An audited escape is silenced with //simlint:nospawn.
+// Banned repo-wide: go statements, channel sends, receives, selects,
+// ranging over a channel, make(chan) and close, and importing sync or
+// sync/atomic. The one carve-out is the audited orchestration scope
+// (internal/sweep), which nospawn delegates to isosafe's stricter
+// capture- and handoff-aware rules rather than exempting blindly —
+// concurrency is not merely absent from the sim core, it is confined
+// to a package whose every goroutine, capture, and channel element is
+// certified. Test files are exempt (driving a simulation from a
+// test's timeout goroutine is fine). An audited escape is silenced
+// with //simlint:nospawn.
 var Nospawn = &analysis.Analyzer{
 	Name: "nospawn",
-	Doc:  "ban goroutines, channels, and sync primitives inside the deterministic simulation packages",
+	Doc:  "confine goroutines, channels, and sync primitives to the isosafe-certified orchestration scope",
 	Run:  runNospawn,
 }
 
 func runNospawn(pass *analysis.Pass) (any, error) {
-	if !isSimPackage(pass.Pkg) {
-		return nil, nil
+	if pass.Pkg == nil || inPackageSet(pass.Pkg.Path(), orchestrationPackageSuffixes) {
+		return nil, nil // isosafe's jurisdiction
 	}
 	info := pass.TypesInfo
 	for _, file := range pass.Files {
@@ -48,7 +51,7 @@ func runNospawn(pass *analysis.Pass) (any, error) {
 			if path == "sync" || path == "sync/atomic" {
 				if !suppressed(pass, imp.Pos(), "nospawn") {
 					pass.Reportf(imp.Pos(),
-						"import of %s in simulation package %s: the DES core is single-threaded; state is owned by the event loop",
+						"import of %s in package %s: concurrency is confined to the audited orchestration scope (internal/sweep)",
 						path, pass.Pkg.Name())
 				}
 			}
@@ -114,6 +117,6 @@ func reportNospawn(pass *analysis.Pass, pos token.Pos, what string) {
 		return
 	}
 	pass.Reportf(pos,
-		"%s in a simulation package breaks the single-threaded deterministic event loop; schedule work on the simx engine instead",
+		"%s outside the orchestration scope (internal/sweep) breaks the single-threaded deterministic contract; fan out through the isosafe-certified sweep pool instead",
 		what)
 }

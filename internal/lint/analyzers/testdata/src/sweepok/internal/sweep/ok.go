@@ -1,0 +1,52 @@
+// Package sweep (fixture) is a fully clean orchestration pool: the
+// negative case for every isosafe rule class, and the scope nospawn
+// delegates to isosafe instead of policing itself — run either
+// analyzer over it and expect silence.
+package sweep
+
+type Spec struct {
+	Index int
+	Seed  uint64
+}
+
+type RunFunc func(Spec) ([]byte, error)
+
+type result struct {
+	index int
+	bytes []byte
+	err   error
+}
+
+func Indexed(n int, seed uint64) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Index: i, Seed: seed}
+	}
+	return specs
+}
+
+func Map(workers int, specs []Spec, fn RunFunc) ([][]byte, error) {
+	feed := make(chan Spec, len(specs))
+	results := make(chan result, len(specs))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for sp := range feed {
+				b, err := fn(sp)
+				results <- result{index: sp.Index, bytes: b, err: err}
+			}
+		}()
+	}
+	for _, sp := range specs {
+		feed <- sp
+	}
+	close(feed)
+	out := make([][]byte, len(specs))
+	for range specs {
+		r := <-results
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[r.index] = r.bytes
+	}
+	return out, nil
+}

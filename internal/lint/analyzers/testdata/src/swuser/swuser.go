@@ -1,0 +1,63 @@
+// Package swuser (fixture) drives a sweep sink from outside the
+// orchestration scope: isosafe checks every function value handed to
+// the pool, wherever the call happens.
+package swuser
+
+import (
+	swp "sweepok/internal/sweep"
+	"triplea/internal/topo"
+	"triplea/internal/workload"
+)
+
+// sizes is never written, so worker closures may read it (the
+// sanctioned way to give every spec index a distinct parameter).
+var sizes = []int{8, 12, 16}
+
+func render(g topo.Geometry, seed uint64) []byte {
+	return []byte{byte(g.Switches), byte(seed)}
+}
+
+// Good captures only registered deep-copy-safe values: a Geometry, a
+// Profile, basics, and the effectively-const package var sizes.
+func Good(g topo.Geometry, p workload.Profile, seed uint64) ([][]byte, error) {
+	specs := swp.Indexed(len(sizes), seed)
+	return swp.Map(2, specs, func(sp swp.Spec) ([]byte, error) {
+		cfg := g // per-run copy: captured values are read-only
+		cfg.ClustersPerSwitch = sizes[sp.Index]
+		_ = p
+		return render(cfg, sp.Seed), nil
+	})
+}
+
+func run(sp swp.Spec) ([]byte, error) { return nil, nil }
+
+// GoodFuncRef hands the pool a package-level function, which closes
+// over nothing.
+func GoodFuncRef(specs []swp.Spec) {
+	swp.Map(2, specs, run)
+}
+
+type runner struct{ buf []byte }
+
+func (r *runner) run(sp swp.Spec) ([]byte, error) { return r.buf, nil }
+
+func Bad(r *runner, specs []swp.Spec, table map[int][]byte) {
+	swp.Map(2, specs, r.run) // want `cannot verify the captures of this function value at a worker sink`
+	swp.Map(2, specs, func(sp swp.Spec) ([]byte, error) {
+		return table[sp.Index], nil // want `worker closure captures table \(type map\[int\]\[\]byte\)`
+	})
+	swp.Map(2, specs, func(sp swp.Spec) ([]byte, error) {
+		r.buf = nil // want `worker closure captures r \(type \*runner\)`
+		return nil, nil
+	})
+}
+
+// BadForeign reaches for another package's global inside a worker:
+// isosafe cannot see that package's writes, so the capture is
+// rejected outright.
+func BadForeign(specs []swp.Spec) {
+	swp.Map(2, specs, func(sp swp.Spec) ([]byte, error) {
+		_ = workload.DefaultProfile // want `worker closure captures package-level var DefaultProfile from package workload`
+		return nil, nil
+	})
+}

@@ -1,9 +1,9 @@
-// Package fimm (fixture) sits on a simulation-core import path, where
-// nospawn bans goroutines, channels, and sync primitives.
+// Package fimm (fixture) sits on a simulation-core import path, well
+// outside the orchestration scope where nospawn confines concurrency.
 package fimm
 
 import (
-	"sync" // want `import of sync in simulation package fimm`
+	"sync" // want `import of sync in package fimm`
 
 	"triplea/internal/simx"
 )
@@ -11,23 +11,23 @@ import (
 var mu sync.Mutex
 
 func spawn(eng *simx.Engine, fn func()) {
-	go fn() // want `go statement in a simulation package breaks the single-threaded deterministic event loop`
+	go fn() // want `go statement outside the orchestration scope`
 	eng.Schedule(simx.Microsecond, fn)
 }
 
 func channels(done chan int) {
-	ch := make(chan int, 4) // want `make of a channel in a simulation package`
-	ch <- 1                 // want `channel send in a simulation package`
-	<-ch                    // want `channel receive in a simulation package`
-	select {                // want `select statement in a simulation package`
-	case v := <-done: // want `channel receive in a simulation package`
+	ch := make(chan int, 4) // want `make of a channel outside the orchestration scope`
+	ch <- 1                 // want `channel send outside the orchestration scope`
+	<-ch                    // want `channel receive outside the orchestration scope`
+	select {                // want `select statement outside the orchestration scope`
+	case v := <-done: // want `channel receive outside the orchestration scope`
 		_ = v
 	default:
 	}
-	for range done { // want `range over a channel in a simulation package`
+	for range done { // want `range over a channel outside the orchestration scope`
 		break
 	}
-	close(done) // want `close of a channel in a simulation package`
+	close(done) // want `close of a channel outside the orchestration scope`
 }
 
 func audited(stop chan struct{}) {

@@ -1,0 +1,96 @@
+// Package sweep (fixture) sits on the orchestration import path,
+// where isosafe applies its strict worker-isolation rules: checked
+// captures, handoff-by-value channels, and no shared-memory
+// synchronization even here.
+package sweep
+
+import (
+	"sync" // want `import of sync in the orchestration scope`
+)
+
+type Spec struct {
+	Index int
+	Seed  uint64
+}
+
+type result struct {
+	index int
+	bytes []byte
+}
+
+type RunFunc func(Spec) ([]byte, error)
+
+var mu sync.Mutex
+
+// defaultSeed is never written: a worker closure may capture it.
+var defaultSeed = uint64(42)
+
+// launches is written outside init (in badCaptures' worker), so
+// capturing it is a finding.
+var launches int
+
+// pool is the clean shape: the worker captures only the feed and
+// result channels and the registered RunFunc; only Spec and result
+// cross the channel boundary.
+func pool(fn RunFunc, specs []Spec) [][]byte {
+	feed := make(chan Spec, len(specs))
+	results := make(chan result, len(specs))
+	go func() {
+		for sp := range feed {
+			b, _ := fn(sp)
+			results <- result{index: sp.Index, bytes: b}
+		}
+	}()
+	for _, sp := range specs {
+		feed <- sp
+	}
+	close(feed)
+	out := make([][]byte, len(specs))
+	for range specs {
+		r := <-results
+		out[r.index] = r.bytes
+	}
+	mu.Lock()
+	mu.Unlock()
+	return out
+}
+
+func badCaptures(fn RunFunc, specs []Spec) {
+	table := map[int][]byte{}
+	buf := []byte("x")
+	go func() {
+		table[0] = buf // want `worker goroutine captures table \(type map\[int\]\[\]byte\)` `worker goroutine captures buf \(type \[\]byte\)`
+		launches++     // want `worker goroutine captures package-level var launches, which is written outside init`
+		_ = defaultSeed
+		_ = specs // want `worker goroutine captures specs \(type \[\]Spec\)`
+		_ = fn
+	}()
+}
+
+func badSpawn(task func()) {
+	go task() // want `go statement must launch a function literal`
+}
+
+func badArg(blob []byte) {
+	go func(b []byte) {
+		_ = b
+	}(blob) // want `argument of type \[\]byte handed to a worker goroutine`
+}
+
+func badSelect(a, b chan Spec) {
+	select { // want `select statement in the orchestration scope`
+	case <-a:
+	case <-b:
+	}
+}
+
+func badHandoff(out chan *result, n int) {
+	leaks := make(chan []byte, n) // want `channel of \[\]byte in the orchestration scope`
+	out <- &result{}              // want `value of type \*result crosses the worker channel boundary`
+	leaks <- nil                  // want `value of type \[\]byte crosses the worker channel boundary`
+}
+
+func audited(n int) chan error {
+	//simlint:isosafe audited: error fan-in reviewed with the pool design
+	return make(chan error, n)
+}

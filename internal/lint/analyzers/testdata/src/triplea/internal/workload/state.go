@@ -1,0 +1,42 @@
+// Package workload (fixture) sits on a simulation-state import path,
+// where isosafe's rule 1 requires every package-level var to be
+// effectively-const. Profile doubles as the registered deep-copy-safe
+// capture type the swuser fixture hands to worker closures.
+package workload
+
+// Profile mirrors the real workload.Profile: a pure value struct.
+type Profile struct {
+	Name string
+	Hot  int
+}
+
+// DefaultProfile is read but never written: effectively-const, no
+// finding.
+var DefaultProfile = Profile{Name: "base", Hot: 2}
+
+var tuning = map[string]int{}
+
+//simlint:shared audited: debug histogram, reset only between runs by the test harness
+var histogram = map[string]int{}
+
+var registry []Profile
+
+func init() {
+	// Writes during package initialization are sanctioned.
+	registry = append(registry, DefaultProfile)
+}
+
+func Tune(k string, v int) {
+	tuning[k] = v // want `write to package-level var tuning in simulation package workload`
+	histogram[k]++
+}
+
+func Reset() {
+	registry = nil // want `write to package-level var registry in simulation package workload`
+}
+
+func Alias() *map[string]int {
+	return &tuning // want `alias \(&\) of package-level var tuning in simulation package workload`
+}
+
+func Read() Profile { return DefaultProfile }

@@ -29,6 +29,24 @@ var simPackageSuffixes = []string{
 	"internal/fault",
 }
 
+// isoStatePackageSuffixes extends the simulation core with its pure
+// data/support packages; isosafe's mutable-global rule covers all of
+// them, because a run is only repeatable if nothing it reads can be
+// written by a concurrent sibling run.
+var isoStatePackageSuffixes = append([]string{
+	"internal/topo",
+	"internal/workload",
+	"internal/metrics",
+	"internal/trace",
+}, simPackageSuffixes...)
+
+// orchestrationPackageSuffixes is the one scope where concurrency is
+// legal: nospawn skips it and isosafe certifies it under stricter,
+// capture- and handoff-aware rules.
+var orchestrationPackageSuffixes = []string{
+	"internal/sweep",
+}
+
 // floatPackageSuffixes lists the packages whose floating-point
 // arithmetic feeds reported numbers (floateq's scope).
 var floatPackageSuffixes = []string{
@@ -170,5 +188,6 @@ func All() []*analysis.Analyzer {
 		Exhaustive,
 		Nospawn,
 		Poolsafe,
+		Isosafe,
 	}
 }

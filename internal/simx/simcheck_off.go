@@ -39,6 +39,11 @@ func (*PoolCheck) InUse(what string) {}
 // ckLife is the engine-internal alias for the guard.
 type ckLife = PoolCheck
 
+// CheckActive reports whether the simcheck invariant checks (and their
+// process-global leak ledger) are compiled in; false here, so
+// orchestration layers are free to run sweep points concurrently.
+func CheckActive() bool { return false }
+
 // SnapshotLedger copies the per-pool outstanding counts of the leak
 // ledger; without the tag there is no ledger and it returns nil.
 func SnapshotLedger() map[string]int { return nil }

@@ -73,8 +73,18 @@ func (c *PoolCheck) InUse(what string) {
 
 // ckLedger counts, per pool name, the objects currently checked out of
 // (or never yet returned to) their free-list. The simulator is
-// single-threaded by construction, so a plain map suffices.
+// single-threaded by construction, so a plain map suffices — and
+// because this is process-global, the sweep runner clamps its worker
+// pool to one whenever CheckActive reports the tag is on.
+//
+//simlint:shared process-wide leak ledger; parallel sweeps serialize under -tags simcheck (see CheckActive)
 var ckLedger = map[string]int{}
+
+// CheckActive reports whether the simcheck invariant checks (and their
+// process-global leak ledger) are compiled in. Orchestration layers
+// use it to fall back to serial execution: the ledger is shared state
+// that concurrent runs would race on.
+func CheckActive() bool { return true }
 
 // SnapshotLedger copies the current per-pool outstanding counts.
 // Pools with a zero count are omitted.

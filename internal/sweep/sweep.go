@@ -1,0 +1,135 @@
+// Package sweep is the audited orchestration layer above the
+// deterministic simulator: it fans independent (seed, config) run
+// specs across a fixed-size worker pool and reassembles the results in
+// spec order, so a parameter sweep uses every core without spending
+// any of the determinism budget the engine's single-threaded contract
+// buys.
+//
+// The package is the one place in the repository where concurrency is
+// legal, and it is certified rather than trusted: the `isosafe`
+// analyzer (see docs/static-analysis.md) statically proves that
+//
+//   - every worker closure captures only registered deep-copy-safe
+//     values (seeds, value-semantics config structs, the package's own
+//     channels) — never a live engine, an array, or a pool;
+//   - the only values crossing the channel boundary are the immutable
+//     Spec and result types;
+//   - each run stays single-threaded: a RunFunc builds every engine,
+//     array, and recorder it needs inside the call, in its own arena.
+//
+// Because each run is a pure function of its spec, the assembled
+// output is byte-identical for any worker count — Map(1, ...) and
+// Map(8, ...) return the same bytes, which
+// internal/experiments/parallel_test.go pins.
+package sweep
+
+import "fmt"
+
+// Spec identifies one independent run of a sweep: a dense index used
+// for deterministic result reassembly, and the seed the run derives
+// every random draw from. Spec is a pure value and is registered with
+// isosafe as deep-copy-safe.
+type Spec struct {
+	Index int
+	Seed  uint64
+}
+
+// RunFunc executes one spec and returns the run's rendered bytes
+// (a report.Table rendering, encoded row cells, a metric snapshot).
+// Implementations must be self-contained: build the array, engine, and
+// recorders inside the call, return only bytes, and capture nothing
+// mutable — isosafe checks every function literal flowing into Map, so
+// a closure that captures a pointer, map, slice, or live engine is a
+// vet error, not a latent race.
+type RunFunc func(Spec) ([]byte, error)
+
+// result is the only type worker goroutines send back across the
+// channel boundary (isosafe's handoff-by-value rule): the spec's
+// index, the rendered bytes, and the run's error. Ownership of the
+// byte slice transfers with the send; the worker never touches it
+// again.
+type result struct {
+	index int
+	bytes []byte
+	err   error
+}
+
+// Indexed builds the dense spec list [0, n): spec i carries index i
+// and the shared seed (runs that need distinct seeds derive them from
+// Seed and Index inside the RunFunc, keeping the derivation explicit
+// and reproducible).
+func Indexed(n int, seed uint64) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Index: i, Seed: seed}
+	}
+	return specs
+}
+
+// Map runs fn over every spec on a fixed pool of `workers` goroutines
+// and returns the results in spec order: out[i] is fn(specs[i]),
+// regardless of worker count or completion order. Errors are
+// deterministic too: the error of the lowest-index failing spec is
+// returned, whichever worker hit it first.
+//
+// workers <= 1 runs serially on the calling goroutine with no
+// concurrency at all — the default path for tests and for builds where
+// parallelism is disabled — and is byte-equivalent to every parallel
+// schedule by construction.
+func Map(workers int, specs []Spec, fn RunFunc) ([][]byte, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	for i, sp := range specs {
+		if sp.Index != i {
+			return nil, fmt.Errorf("sweep: spec %d carries index %d; indices must be dense and in order", i, sp.Index)
+		}
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		out := make([][]byte, len(specs))
+		for i, sp := range specs {
+			b, err := fn(sp)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: spec %d: %w", sp.Index, err)
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+
+	feed := make(chan Spec, len(specs))
+	results := make(chan result, len(specs))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for sp := range feed {
+				b, err := fn(sp)
+				results <- result{index: sp.Index, bytes: b, err: err}
+			}
+		}()
+	}
+	for _, sp := range specs {
+		feed <- sp
+	}
+	close(feed)
+
+	out := make([][]byte, len(specs))
+	errIndex := -1
+	var firstErr error
+	for range specs {
+		r := <-results
+		if r.err != nil {
+			if errIndex < 0 || r.index < errIndex {
+				errIndex, firstErr = r.index, r.err
+			}
+			continue
+		}
+		out[r.index] = r.bytes
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("sweep: spec %d: %w", errIndex, firstErr)
+	}
+	return out, nil
+}

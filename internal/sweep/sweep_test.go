@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// run renders a deterministic payload for one spec: enough mixing that
+// a mis-assembled index or a dropped spec changes the bytes.
+func run(sp Spec) ([]byte, error) {
+	return []byte(fmt.Sprintf("spec=%d seed=%d sum=%d", sp.Index, sp.Seed, sp.Seed*uint64(sp.Index+1))), nil
+}
+
+func TestIndexed(t *testing.T) {
+	specs := Indexed(4, 42)
+	if len(specs) != 4 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.Index != i || sp.Seed != 42 {
+			t.Errorf("spec %d = %+v", i, sp)
+		}
+	}
+	if len(Indexed(0, 1)) != 0 {
+		t.Error("Indexed(0) not empty")
+	}
+}
+
+// TestWorkerCountIndependence is the package's contract: the assembled
+// output is byte-identical for every worker count, including the
+// goroutine-free serial path.
+func TestWorkerCountIndependence(t *testing.T) {
+	specs := Indexed(23, 7)
+	serial, err := Map(1, specs, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(specs) {
+		t.Fatalf("serial produced %d results", len(serial))
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := Map(workers, specs, run)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial {
+			if !bytes.Equal(got[i], serial[i]) {
+				t.Fatalf("workers=%d: result %d diverged:\n  serial: %s\n  pooled: %s",
+					workers, i, serial[i], got[i])
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if out, err := Map(8, nil, run); err != nil || out != nil {
+		t.Errorf("empty sweep: %v, %v", out, err)
+	}
+	out, err := Map(8, Indexed(1, 3), run)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("single spec: %v, %v", out, err)
+	}
+}
+
+// TestDeterministicError pins the error contract: the lowest-index
+// failure wins regardless of which worker reports first.
+func TestDeterministicError(t *testing.T) {
+	sentinel := errors.New("boom")
+	fail := func(sp Spec) ([]byte, error) {
+		if sp.Index%3 == 2 { // specs 2, 5, 8, ... fail
+			return nil, fmt.Errorf("point %d: %w", sp.Index, sentinel)
+		}
+		return run(sp)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, Indexed(12, 1), fail)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: error chain lost: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "spec 2") {
+			t.Errorf("workers=%d: want lowest-index failure (spec 2), got %v", workers, err)
+		}
+	}
+}
+
+func TestRejectsSparseSpecs(t *testing.T) {
+	specs := []Spec{{Index: 0}, {Index: 2}}
+	if _, err := Map(2, specs, run); err == nil {
+		t.Error("sparse spec indices accepted")
+	}
+}
