@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke
+.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ lint-fix-list:
 	@grep -rn '//simlint:[a-z]' --include='*.go' . \
 		| grep -v '/testdata/' | grep -v '^./internal/lint/' | grep -v '^./cmd/simlint/' \
 		| sed 's|^\./||' || echo "no active suppressions"
+
+# Every audited hot-path escape (//simlint:cold pruned functions and
+# //simlint:coldalloc allocation sites) with file:line — the standing
+# review list for hotzero's allocation-freedom certificate.
+lint-hotzero-list:
+	@grep -rn '//simlint:cold' --include='*.go' . \
+		| grep -v '/testdata/' | grep -v '^./internal/lint/' | grep -v '^./cmd/simlint/' \
+		| sed 's|^\./||' || echo "no audited hot-path escapes"
 
 vet:
 	$(GO) vet ./...

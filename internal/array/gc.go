@@ -14,7 +14,7 @@ import (
 // one is not already running. The worker relocates the victim's valid
 // pages (device reads and programs that contend with host traffic, as
 // real GC does), erases the victim, and repeats while pressure remains.
-func (a *Array) startGC(id topo.FIMMID) {
+func (a *Array) startGC(id topo.FIMMID) { //simlint:cold garbage collection runs per reclaimed block, not per event
 	flat := id.Flat(a.cfg.Geometry)
 	if a.gcActive[flat] {
 		return
@@ -143,7 +143,7 @@ func (a *Array) eraseVictim(plan *ftl.GCPlan, done func()) {
 // with zero-time device fixups so an in-admission write can proceed.
 // Measured experiments are sized so this never fires; it exists to keep
 // pathological configurations (tiny FIMMs, reshaping pile-ups) live.
-func (a *Array) runGCNow(id topo.FIMMID) {
+func (a *Array) runGCNow(id topo.FIMMID) { //simlint:cold emergency out-of-space reclamation
 	plan, ok := a.ftl.PlanGC(id, a.gcVeto)
 	if !ok {
 		return

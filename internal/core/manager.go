@@ -119,6 +119,11 @@ type Manager struct {
 	// the data its stalled requests want), fueling batch reshaping.
 	recent map[int]*lpnRing
 
+	// laggardScratch backs detectLaggards, which runs on every page
+	// completion and every write-target decision; reusing one buffer
+	// keeps both hot paths allocation-free. Valid until the next call.
+	laggardScratch []bool
+
 	stats Stats
 }
 
@@ -129,7 +134,7 @@ type lpnRing struct {
 	full bool
 }
 
-func newLPNRing(n int) *lpnRing { return &lpnRing{buf: make([]int64, n)} }
+func newLPNRing(n int) *lpnRing { return &lpnRing{buf: make([]int64, n)} } //simlint:coldalloc first touch: per-FIMM recency ring
 
 func (r *lpnRing) add(lpn int64) {
 	r.buf[r.next] = lpn
@@ -181,6 +186,8 @@ func Attach(a *array.Array, opt Options) *Manager {
 		utilLast:  make([]float64, cfg.Geometry.TotalClusters()),
 		migrating: make(map[int64]bool),
 		recent:    make(map[int]*lpnRing),
+
+		laggardScratch: make([]bool, cfg.Geometry.FIMMsPerCluster),
 	}
 	if opt.ReshapeBatch <= 0 {
 		m.opt.ReshapeBatch = DefaultOptions().ReshapeBatch
@@ -290,7 +297,7 @@ func (m *Manager) manageStorageContention(pc array.PageComplete) {
 // It only runs while the cluster's shared bus has headroom: batch moves
 // need device reads, and burning a saturated bus on repair traffic
 // would convert storage contention into link contention.
-func (m *Manager) reshapeBatch(pc array.PageComplete, laggards []bool) {
+func (m *Manager) reshapeBatch(pc array.PageComplete, laggards []bool) { //simlint:cold detection-gated batch reshape, not per-event work
 	if m.utilization(pc.Cluster) > 0.5 {
 		return
 	}
@@ -344,9 +351,16 @@ func (m *Manager) WriteTarget(lpn int64, resident topo.FIMMID) topo.FIMMID {
 }
 
 // detectLaggards reports, per FIMM slot, whether the slot is a laggard
-// under the configured strategy. A nil result means none.
+// under the configured strategy. A nil result means none. A non-nil
+// result aliases the manager's scratch buffer and is valid only until
+// the next detectLaggards call — both detectors run per event, so this
+// path must not allocate.
 func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
 	stalled := ep.StalledPerFIMM()
+	out := m.laggardScratch[:len(stalled)]
+	for i := range out {
+		out[i] = false
+	}
 	switch m.opt.Strategy {
 	case QueueExamination:
 		if !ep.QueueFull() {
@@ -362,7 +376,6 @@ func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
 		if max == 0 {
 			return nil
 		}
-		out := make([]bool, len(stalled))
 		any := false
 		for i, n := range stalled {
 			if n == max {
@@ -375,15 +388,16 @@ func (m *Manager) detectLaggards(ep *cluster.Endpoint) []bool {
 		}
 		return out
 	case LatencyMonitoring: // Equation 3
-		var out []bool
 		perReq := m.busTime + m.texeRead
+		any := false
 		for i, n := range stalled {
 			if simx.Time(n)*perReq > m.sla {
-				if out == nil {
-					out = make([]bool, len(stalled))
-				}
 				out[i] = true
+				any = true
 			}
+		}
+		if !any {
+			return nil
 		}
 		return out
 	}
@@ -482,7 +496,7 @@ func (m *Manager) utilization(id topo.ClusterID) float64 {
 
 // startMove launches one page move, deduplicating in-flight LPNs and
 // bounding concurrency.
-func (m *Manager) startMove(lpn int64, dst topo.FIMMID, canShadow bool) {
+func (m *Manager) startMove(lpn int64, dst topo.FIMMID, canShadow bool) { //simlint:cold migration launches are detection-gated autonomic actions
 	if m.migrating[lpn] || m.inflight >= m.opt.MaxInflightMigrations {
 		return
 	}

@@ -115,7 +115,7 @@ type Done interface {
 type DoneFunc func(r Result)
 
 // OnFIMMDone implements Done.
-func (fn DoneFunc) OnFIMMDone(r Result) { fn(r) }
+func (fn DoneFunc) OnFIMMDone(r Result) { fn(r) } //simlint:cold closure-completion adapter; hot completions pre-bind Done receivers
 
 // FIMM is one flash inline memory module.
 type FIMM struct {
@@ -226,7 +226,7 @@ func (f *FIMM) newOp(op nand.Op, pkg int, addrs []nand.Addr, d Done) *fop {
 		st.ck.Checkout("fimm.fop")
 		st.next = nil
 	} else {
-		st = &fop{f: f}
+		st = &fop{f: f} //simlint:coldalloc pool miss: fop free-list refill
 		st.ck.Fresh("fimm.fop")
 	}
 	st.op, st.pkg, st.addrs, st.d = op, pkg, addrs, d
@@ -309,7 +309,7 @@ func (f *FIMM) Stats() Stats {
 
 func (f *FIMM) checkPkg(pkg int) error {
 	if pkg < 0 || pkg >= len(f.packages) {
-		return fmt.Errorf("fimm: package %d out of range [0,%d)", pkg, len(f.packages))
+		return fmt.Errorf("fimm: package %d out of range [0,%d)", pkg, len(f.packages)) //simlint:coldalloc error path: package index out of range
 	}
 	return nil
 }
@@ -333,7 +333,7 @@ func (f *FIMM) ReadOp(pkg int, addrs []nand.Addr, d Done) {
 		return
 	}
 	if f.dead {
-		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: read: %w", ErrDead)})
+		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: read: %w", ErrDead)}) //simlint:coldalloc fault path: dead-module error
 		return
 	}
 	st := f.newOp(nand.OpRead, pkg, addrs, d)
@@ -360,7 +360,7 @@ func (f *FIMM) ProgramOp(pkg int, addrs []nand.Addr, d Done) {
 		return
 	}
 	if f.dead {
-		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: program: %w", ErrDead)})
+		d.OnFIMMDone(Result{Err: fmt.Errorf("fimm: program: %w", ErrDead)}) //simlint:coldalloc fault path: dead-module error
 		return
 	}
 	st := f.newOp(nand.OpProgram, pkg, addrs, d)

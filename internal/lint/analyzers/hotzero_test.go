@@ -1,0 +1,21 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+// TestHotzero runs the golden fixtures: hz/internal/core covers every
+// allocation rule class positive and negative, hz/internal/simx covers
+// certified roots and the audited cold-path markers, and
+// hz/internal/report proves the package-scope gate (no findings in
+// post-processing code).
+func TestHotzero(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Hotzero,
+		"hz/internal/core",
+		"hz/internal/simx",
+		"hz/internal/report",
+	)
+}

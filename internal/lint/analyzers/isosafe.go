@@ -119,7 +119,7 @@ func isoGlobalWrites(pass *analysis.Pass) []isoWrite {
 		if e == nil {
 			return
 		}
-		if v := isoPkgLevelVar(info, e); v != nil {
+		if v := pkgLevelVar(info, e); v != nil {
 			writes = append(writes, isoWrite{v: v, pos: pos, what: what})
 		}
 	}
@@ -158,38 +158,6 @@ func isoGlobalWrites(pass *analysis.Pass) []isoWrite {
 		})
 	}
 	return writes
-}
-
-// isoPkgLevelVar resolves the base of an lvalue chain (selectors,
-// indexes, derefs) to a package-level var, if that is what it roots in.
-func isoPkgLevelVar(info *types.Info, e ast.Expr) *types.Var {
-	for e != nil {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.SliceExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			if _, ok := importedPackage(info, x.X); ok {
-				e = x.Sel
-			} else {
-				e = x.X
-			}
-		case *ast.Ident:
-			v, ok := info.Uses[x].(*types.Var)
-			if ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-				return v
-			}
-			return nil
-		default:
-			return nil
-		}
-	}
-	return nil
 }
 
 // ---- rules 2-4 inside the orchestration scope ----
@@ -413,27 +381,6 @@ func isoTopLevelFuncRef(info *types.Info, e ast.Expr) bool {
 }
 
 // ---- the registries ----
-
-// isoNamed is like isNamed but does NOT unwrap pointers: *array.Config
-// is a shared reference, not a registered value type.
-func isoNamed(t types.Type, pkgSuffix, name string) bool {
-	n, ok := types.Unalias(t).(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := n.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Name() == name &&
-		hasPathSuffix(obj.Pkg().Path(), pkgSuffix)
-}
-
-func isRegisteredNamed(t types.Type, table [][2]string) bool {
-	for _, r := range table {
-		if isoNamed(t, r[0], r[1]) {
-			return true
-		}
-	}
-	return false
-}
 
 // isHandoffType reports whether t may cross a worker channel boundary.
 func isHandoffType(t types.Type) bool {

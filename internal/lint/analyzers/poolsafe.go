@@ -48,16 +48,6 @@ var Poolsafe = &analysis.Analyzer{
 	Run:  runPoolsafe,
 }
 
-// funcRef names a function or method: the defining package's path
-// suffix, the receiver type name ("" for package-level functions), and
-// the function name. Suffix matching lets analyzer testdata fakes
-// ("triplea/internal/pcie") register alongside the real packages.
-type funcRef struct {
-	pkg  string
-	recv string
-	name string
-}
-
 // poolSpec registers one pool: the pooled object's type, the calls
 // that mint or check out an object, and the calls (first argument)
 // that return one. Adding a pool is adding one of these entries.
@@ -243,51 +233,6 @@ func isPoolMachinery(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 		}
 	}
 	return false
-}
-
-// matchFunc reports whether fn is the function funcRef names.
-func matchFunc(fn *types.Func, ref funcRef) bool {
-	if fn == nil || fn.Name() != ref.name {
-		return false
-	}
-	if fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), ref.pkg) {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok {
-		return false
-	}
-	recv := sig.Recv()
-	if ref.recv == "" {
-		return recv == nil
-	}
-	if recv == nil {
-		return false
-	}
-	n, ok := namedType(recv.Type())
-	if !ok {
-		// Interface methods carry the interface type directly.
-		return false
-	}
-	return n.Obj().Name() == ref.recv
-}
-
-// calleeFunc resolves the called function or method of a call, if it
-// is statically known.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			fn, _ := sel.Obj().(*types.Func)
-			return fn
-		}
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
 }
 
 // acquireOf reports the pool a call mints an object from, if any.
@@ -858,15 +803,6 @@ func (fa *psFunc) walkExpr(e ast.Expr, sunk bool, out *[]action) {
 	}
 }
 
-// receiverExpr returns the receiver/package part of a call's selector,
-// if any, so its uses are recorded.
-func receiverExpr(call *ast.CallExpr) ast.Expr {
-	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.X
-	}
-	return nil
-}
-
 // mayReturnCall reports whether a call can return: panic, os.Exit and
 // log.Fatal* terminate their path instead.
 func mayReturnCall(call *ast.CallExpr) bool {
@@ -1017,18 +953,4 @@ func (fa *psFunc) transfer(blk *ctrlflow.Block, v *types.Var, pool *poolSpec, st
 		}
 	}
 	return st, true
-}
-
-// isBuiltinAppend reports whether a call is the append builtin with at
-// least one appended element.
-func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
-	id, ok := unparen(call.Fun).(*ast.Ident)
-	if !ok || id.Name != "append" || len(call.Args) < 2 {
-		return false
-	}
-	if obj := info.Uses[id]; obj != nil {
-		_, isBuiltin := obj.(*types.Builtin)
-		return isBuiltin
-	}
-	return true
 }

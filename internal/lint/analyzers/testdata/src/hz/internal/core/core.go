@@ -1,0 +1,165 @@
+// Package core exercises every hotzero rule class, positive and
+// negative. Roots: the dispatch-method implementations (OnEvent,
+// OnGrant). Everything they statically reach is certified; everything
+// else is invisible to the analyzer.
+package core
+
+import "hz/internal/simx"
+
+type dev struct {
+	n     int
+	name  string
+	buf   []int
+	eng   *simx.Engine
+	h     simx.Handler
+	s     stepper
+	hooks func()
+}
+
+// stepper is NOT a registered dispatch interface.
+type stepper interface{ Advance() }
+
+type widget struct{ xs []int }
+
+// Advance is only reachable through the conservative all-implementers
+// fallback at the unregistered dispatch site below.
+func (w *widget) Advance() {
+	w.xs = []int{1} // want `hot path: slice literal allocates its backing array`
+}
+
+// ---- explicit heap constructs ----
+
+func (d *dev) OnEvent(arg uint64) {
+	d.step()
+	x := &dev{} // want `hot path: &composite literal escapes to the heap`
+	_ = x
+	xs := []int{1, 2} // want `hot path: slice literal allocates its backing array`
+	_ = xs
+	m := map[int]int{} // want `hot path: map literal allocates`
+	_ = m
+	p := new(dev) // want `hot path: new allocates`
+	_ = p
+	q := make([]int, 4) // want `hot path: make allocates`
+	_ = q
+	d.buf = append(d.buf, 1) // want `hot path: append may grow its backing array`
+
+	ev := &dev{} //simlint:coldalloc audited in the fixture
+	_ = ev
+
+	v := dev{} // a plain struct value stays on the stack
+	_ = v
+}
+
+// step is reachable from OnEvent; its body is clean.
+func (d *dev) step() { d.n++ }
+
+// ---- interface boxing ----
+
+func (d *dev) OnGrant(arg uint64, wait simx.Time) {
+	var i interface{}
+	i = d.n // want `hot path: assignment boxes int into an interface`
+	i = d   // a pointer fits the interface word: no allocation
+	i = 42  // constants are boxed into static storage
+	_ = i
+	_ = interface{}(d.n) // want `hot path: conversion boxes int into an interface`
+	sink(d.n)            // want `hot path: argument boxes int into an interface`
+	sink(d)
+	var j interface{} = d.name // want `hot path: assignment boxes string into an interface`
+	_ = j
+	_ = d.boxed()
+	_ = simx.Time(arg) // a plain numeric conversion is free
+}
+
+func sink(x interface{}) {}
+
+func (d *dev) boxed() interface{} {
+	return d.n // want `hot path: return boxes int into an interface`
+}
+
+// ---- closures, method values, function values ----
+
+func (d *dev) OnNandDone(t simx.Time, err error) {
+	v := func() { // want `hot path: closure captures d and allocates`
+		d.buf = append(d.buf, 1) // want `hot path: append may grow its backing array`
+	}
+	v()
+	g := func(x int) int { return x + 1 } // capture-free: a static value
+	_ = g(1)
+	h := d.step // want `hot path: method value step allocates its bound-receiver closure`
+	_ = h
+	sink2(helper)
+}
+
+func sink2(f func()) {
+	f() // want `hot path: dynamic call through a function value cannot be certified`
+}
+
+func helper() {}
+
+// ---- strings and variadics ----
+
+func (d *dev) OnFIMMDone(code int) {
+	d.name = d.name + "x" // want `hot path: string concatenation allocates`
+	b := []byte(d.name)   // want `hot path: string/\[\]byte conversion copies and allocates`
+	s := string(b)        // want `hot path: string/\[\]byte conversion copies and allocates`
+	_ = s
+	varsink(1, 2) // want `hot path: variadic call allocates its argument slice`
+	varsink(d.buf...)
+	varsink()
+}
+
+func varsink(xs ...int) {}
+
+// ---- calls leaving the certified world ----
+
+func (d *dev) OnCommandFlushed(arg uint64) {
+	d.eng.ScheduleEvent(d.eng.Now(), d, arg) // certified sink, pointer handler: free
+	d.h.OnEvent(arg)                         // registered dispatch: certified
+	_ = d.eng.DumpStats()                    // want `hot path: call to uncertified function simx\.Engine\.DumpStats`
+	d.s.Advance()                            // want `hot path: interface dispatch through unregistered method Advance`
+	d.hooks()                                // want `hot path: dynamic call through a function value cannot be certified`
+}
+
+// ---- audited pruning and terminal paths ----
+
+//simlint:cold rebuild runs at topology changes, never per event
+func (d *dev) rebuild() {
+	d.buf = make([]int, 128)
+	d.name = d.name + "/rebuilt"
+}
+
+func (d *dev) OnLinkAccepted(arg uint64) {
+	if d.n < 0 {
+		panic("bad state: " + d.name) // terminal path: exempt
+	}
+	d.rebuild()
+}
+
+// ---- reachability ----
+
+// even/odd: mutual recursion must terminate and both bodies are hot.
+func (d *dev) OnPageComplete(arg uint64) {
+	d.even(int(arg))
+}
+
+func (d *dev) even(n int) {
+	if n == 0 {
+		return
+	}
+	d.buf = append(d.buf, n) // want `hot path: append may grow its backing array`
+	d.odd(n - 1)
+}
+
+func (d *dev) odd(n int) {
+	if n == 0 {
+		return
+	}
+	d.name = d.name + "." // want `hot path: string concatenation allocates`
+	d.even(n - 1)
+}
+
+// String is NOT reachable from any root: its allocations are none of
+// hotzero's business.
+func (d *dev) String() string {
+	return "dev:" + d.name
+}

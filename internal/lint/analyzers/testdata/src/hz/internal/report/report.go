@@ -1,0 +1,17 @@
+// Package report sits outside hotzero's package scope: even a method
+// named like a dispatch handler may allocate freely here, because
+// reporting/post-processing code runs after the simulation clock
+// stops. Nothing in this file is flagged.
+package report
+
+type Table struct {
+	rows []string
+}
+
+func (t *Table) OnEvent(arg uint64) {
+	t.rows = append(t.rows, "row")
+	m := map[string]int{"a": 1}
+	_ = m
+	var i interface{} = arg
+	_ = i
+}

@@ -19,7 +19,7 @@ type Failure struct {
 
 // RecordFailure adds one fault-terminated request.
 func (rc *Recorder) RecordFailure(f Failure) {
-	rc.failures = append(rc.failures, f)
+	rc.failures = append(rc.failures, f) //simlint:coldalloc fault path: failure log
 }
 
 // Failures exposes the fault-terminated requests (callers must not

@@ -179,7 +179,7 @@ func (rc *Recorder) Record(r Record) {
 	if r.Complete < r.Submit {
 		panic(fmt.Sprintf("metrics: completion %v before submit %v", r.Complete, r.Submit))
 	}
-	rc.records = append(rc.records, r)
+	rc.records = append(rc.records, r) //simlint:coldalloc amortized: sample buffer growth
 	rc.sums.Add(r.Breakdown)
 	rc.latSum += r.Latency()
 	if r.Kind == Read {

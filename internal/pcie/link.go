@@ -44,7 +44,7 @@ type Accepted interface {
 type AcceptedFunc func(pkt *Packet)
 
 // OnLinkAccepted implements Accepted.
-func (f AcceptedFunc) OnLinkAccepted(pkt *Packet) { f(pkt) }
+func (f AcceptedFunc) OnLinkAccepted(pkt *Packet) { f(pkt) } //simlint:cold closure adapter; hot credit returns pre-bind Accepted receivers
 
 // Link is one direction of a dual-simplex PCI-E connection. The sender
 // serialises packets onto the wire; the receiver advertises a fixed
@@ -131,7 +131,7 @@ func (l *Link) newPS(pkt *Packet, accepted Accepted) *pendingSend {
 		ps.ck.Checkout("pcie.pendingSend")
 		ps.next = nil
 	} else {
-		ps = &pendingSend{l: l}
+		ps = &pendingSend{l: l} //simlint:coldalloc pool miss: pendingSend free-list refill
 		ps.ck.Fresh("pcie.pendingSend")
 	}
 	ps.pkt, ps.queued, ps.accepted = pkt, l.eng.Now(), accepted
@@ -197,7 +197,7 @@ func (l *Link) Send(pkt *Packet, accepted Accepted) {
 		l.transmit(ps)
 		return
 	}
-	l.sendQ = append(l.sendQ, ps)
+	l.sendQ = append(l.sendQ, ps) //simlint:coldalloc amortized: send-queue growth bounded by outstanding packets
 	if len(l.sendQ) > l.maxSendQ {
 		l.maxSendQ = len(l.sendQ)
 	}

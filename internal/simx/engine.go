@@ -93,7 +93,7 @@ func (h eventHeap) Swap(i, j int) {
 func (h *eventHeap) Push(x any) {
 	ev := x.(*Event)
 	ev.index = len(*h)
-	*h = append(*h, ev)
+	*h = append(*h, ev) //simlint:coldalloc amortized: event-heap growth
 }
 func (h *eventHeap) Pop() any {
 	old := *h
@@ -199,7 +199,7 @@ func (e *Engine) newEvent() *Event {
 		ev.next = nil
 		ev.cancel = false
 	} else {
-		ev = &Event{pooled: true}
+		ev = &Event{pooled: true} //simlint:coldalloc pool miss: event free-list refill
 		if simcheckEnabled {
 			ev.ck.Fresh("simx.Event")
 		}
@@ -259,7 +259,7 @@ func (e *Engine) Step() bool {
 			h.OnEvent(arg)
 			return true
 		}
-		ev.fn()
+		ev.fn() //simlint:coldalloc closure events are the audited cold scheduling API
 		return true
 	}
 	return false

@@ -131,7 +131,7 @@ func (r *Resource) newWaiter() *waiter {
 		}
 		w.next = nil
 	} else {
-		w = &waiter{}
+		w = &waiter{} //simlint:coldalloc pool miss: waiter free-list refill
 		if simcheckEnabled {
 			w.ck.Fresh("simx.waiter")
 		}
@@ -203,7 +203,7 @@ func (r *Resource) Release() {
 		g.OnGrant(arg, waited)
 		return
 	}
-	fn(waited)
+	fn(waited) //simlint:coldalloc closure grants are the audited cold acquire API
 }
 
 // BusyNS reports the accumulated time during which at least one slot was
