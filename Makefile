@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke
+.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,23 @@ sweep-smoke:
 		| $(GO) run ./cmd/benchjson -o $(SWEEP_JSON)
 	$(GO) test -run 'TestParallel' -v ./internal/experiments/
 	$(GO) test -race ./internal/sweep/
+
+# Streaming-metrics smoke: the recorder footprint benchmarks (exact vs
+# streaming at 10^5 and 10^6 requests, with the steady-state
+# recorder-bytes/op metric) serialized to METRICS_JSON, gated flat
+# (±10%) between the 100k and 1M streaming runs — the O(1)-state
+# contract of docs/metrics.md — plus the streaming determinism/accuracy
+# tests and an end-to-end streaming-backend run of Table 1.
+METRICS_JSON ?= BENCH_PR8.json
+metrics-smoke:
+	$(GO) test . -run '^$$' -bench 'BenchmarkRecorder' -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -o $(METRICS_JSON)
+	$(GO) run ./cmd/benchjson -flat recorder-bytes/op \
+		-names RecorderStreaming100k,RecorderStreaming1M -against $(METRICS_JSON)
+	$(GO) test -run 'TestStreaming|TestPercentileNearestRank|TestPropertyStreamingAccuracy|TestSustainedIOPSBackendsAgree' \
+		-v ./internal/metrics/ ./internal/experiments/
+	$(GO) run ./cmd/triplea-bench -experiment table1 -requests 4000 \
+		-switches 2 -clusters 4 -metrics streaming
 
 check: build fmt-check vet lint test race simcheck
 

@@ -1,16 +1,20 @@
 // Command benchjson converts `go test -bench` output into a stable
-// JSON document (ns/op, B/op, allocs/op per benchmark) and compares
-// two such documents for allocation regressions.
+// JSON document (ns/op, B/op, allocs/op plus any custom b.ReportMetric
+// units per benchmark) and runs two gates over such documents.
 //
 // Usage:
 //
 //	go test . -bench . -benchtime 1x -benchmem | benchjson -o BENCH.json
 //	benchjson -compare BASELINE.json -against NEW.json [-tolerance 0.10]
+//	benchjson -flat METRIC -names A,B[,C...] -against NEW.json [-tolerance 0.10]
 //
 // The first form parses benchmark result lines from stdin. The second
 // form exits non-zero if any benchmark present in both files grew its
 // allocs/op by more than the tolerance fraction — the CI gate that
-// keeps the pooled hot path allocation-free.
+// keeps the pooled hot path allocation-free. The third form exits
+// non-zero unless the named benchmarks agree on METRIC (e.g.
+// recorder-bytes/op) within the tolerance — the CI gate that keeps the
+// streaming metrics backend's memory flat across run lengths.
 package main
 
 import (
@@ -25,13 +29,31 @@ import (
 )
 
 // Result is one benchmark's parsed measurements. Zero-valued metrics
-// were absent from the input line (e.g. no -benchmem).
+// were absent from the input line (e.g. no -benchmem). Extra holds
+// custom units emitted via testing.B.ReportMetric (key = the unit
+// string, e.g. "recorder-bytes/op"); it is omitted when empty.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Metric reads a named metric off the result: one of the three builtin
+// units or any custom ReportMetric unit.
+func (r Result) Metric(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return r.NsPerOp, r.NsPerOp > 0
+	case "B/op":
+		return r.BytesPerOp, r.BytesPerOp > 0
+	case "allocs/op":
+		return r.AllocsPerOp, r.AllocsPerOp > 0
+	}
+	v, ok := r.Extra[unit]
+	return v, ok
 }
 
 // Document is the top-level JSON shape.
@@ -43,13 +65,22 @@ func main() {
 	var (
 		out       = flag.String("o", "", "output file (default stdout)")
 		compare   = flag.String("compare", "", "baseline JSON file: compare instead of parsing stdin")
-		against   = flag.String("against", "", "candidate JSON file for -compare")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth for -compare")
+		against   = flag.String("against", "", "candidate JSON file for -compare / -flat")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth (-compare) or spread (-flat)")
+		flat      = flag.String("flat", "", "metric unit (e.g. recorder-bytes/op): assert -names agree within -tolerance")
+		names     = flag.String("names", "", "comma-separated benchmark names for -flat")
 	)
 	flag.Parse()
 
 	if *compare != "" {
 		if err := runCompare(*compare, *against, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *flat != "" {
+		if err := runFlat(*against, *flat, *names, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -109,13 +140,21 @@ func parse(sc *bufio.Scanner) (*Document, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsPerOp = v
 			case "B/op":
 				r.BytesPerOp = v
 			case "allocs/op":
 				r.AllocsPerOp = v
+			default:
+				// Custom testing.B.ReportMetric units.
+				if strings.HasSuffix(unit, "/op") {
+					if r.Extra == nil {
+						r.Extra = make(map[string]float64)
+					}
+					r.Extra[unit] = v
+				}
 			}
 		}
 		doc.Benchmarks = append(doc.Benchmarks, r)
@@ -183,5 +222,50 @@ func runCompare(basePath, newPath string, tolerance float64) error {
 		return fmt.Errorf("allocs/op regression (> %.0f%%) in: %s",
 			tolerance*100, strings.Join(failed, ", "))
 	}
+	return nil
+}
+
+// runFlat fails unless every named benchmark reports the metric and the
+// relative spread (max/min - 1) stays within the tolerance — the
+// steady-state flatness gate for O(1) metric state.
+func runFlat(path, metric, nameList string, tolerance float64) error {
+	if path == "" {
+		return fmt.Errorf("-flat requires -against")
+	}
+	names := strings.Split(nameList, ",")
+	if nameList == "" || len(names) < 2 {
+		return fmt.Errorf("-flat requires -names with at least two benchmarks")
+	}
+	doc, err := load(path)
+	if err != nil {
+		return err
+	}
+	var lo, hi float64
+	for i, name := range names {
+		r, ok := doc[name]
+		if !ok {
+			return fmt.Errorf("%s: benchmark %q not present", path, name)
+		}
+		v, ok := r.Metric(metric)
+		if !ok {
+			return fmt.Errorf("%s: benchmark %q has no %q metric", path, name, metric)
+		}
+		if v <= 0 {
+			return fmt.Errorf("%s: benchmark %q reports non-positive %q (%v)", path, name, metric, v)
+		}
+		fmt.Printf("benchjson: %-32s %s = %.0f\n", name, metric, v)
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	spread := hi/lo - 1
+	if spread > tolerance {
+		return fmt.Errorf("%s spread %.1f%% exceeds %.0f%% across %s",
+			metric, spread*100, tolerance*100, nameList)
+	}
+	fmt.Printf("benchjson: %s flat within %.1f%% (tolerance %.0f%%)\n", metric, spread*100, tolerance*100)
 	return nil
 }

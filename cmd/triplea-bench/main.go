@@ -5,12 +5,14 @@
 //
 //	triplea-bench [-experiment all|table1|table2|fig1|fig9|...|wear]
 //	              [-requests N] [-seed S] [-switches N] [-clusters N]
-//	              [-parallel N] [-sweep-points N]
+//	              [-parallel N] [-sweep-points N] [-metrics exact|streaming]
 //
 // The default reproduces the full 4x16 (16 TB) configuration. Reducing
 // -requests shortens runs proportionally. -parallel widens the sweep
 // pool for the multi-point experiments (Fig12, Fig13-15, fault); any
 // width prints byte-identical tables (see docs/performance.md).
+// -metrics streaming switches every recorder to the bounded-memory
+// backend (see docs/metrics.md) for large -requests scaling runs.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"triplea/internal/experiments"
+	"triplea/internal/metrics"
 )
 
 func main() {
@@ -33,15 +36,23 @@ func main() {
 		clusters = flag.Int("clusters", 0, "override clusters per switch (0 = paper default 16)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep-pool width for multi-point experiments (1 = serial; output is identical either way)")
-		points = flag.Int("sweep-points", 0, "override the Fig12 hot-cluster point count (0 = paper default 6)")
+		points  = flag.Int("sweep-points", 0, "override the Fig12 hot-cluster point count (0 = paper default 6)")
+		backend = flag.String("metrics", "exact", "recorder backend: exact (paper-exact samples) or streaming (bounded memory)")
 	)
 	flag.Parse()
+
+	mb, err := metrics.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triplea-bench:", err)
+		os.Exit(2)
+	}
 
 	s := experiments.NewSuite()
 	s.Seed = *seed
 	s.Requests = *requests
 	s.Parallel = *parallel
 	s.Fig12Points = *points
+	s.Config.Metrics = mb
 	if *switches > 0 {
 		s.Config.Geometry.Switches = *switches
 	}
@@ -50,7 +61,6 @@ func main() {
 	}
 
 	start := time.Now()
-	var err error
 	if *exp == "all" {
 		err = s.RunAll(os.Stdout)
 	} else {

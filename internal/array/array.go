@@ -58,7 +58,7 @@ type Array struct {
 	health        *topo.Health
 	faultsArmed   bool
 	recoverFaults bool
-	faultStats    FaultStats
+	faultCtrs     faultCounters // registry-backed (fault.go)
 
 	rcSlots  *simx.Resource // RC queue entries (admission control)
 	recorder *metrics.Recorder
@@ -111,11 +111,13 @@ func New(cfg Config) (*Array, error) {
 		return nil, err
 	}
 	eng := simx.NewEngine()
+	recorder := metrics.NewRecorderWith(cfg.Metrics, metrics.DefaultSustainedWindow)
 	a := &Array{
 		eng:            eng,
 		cfg:            cfg,
 		ftl:            ftl.New(cfg.Geometry, ftl.WithLayout(cfg.Layout), ftl.WithGCThreshold(cfg.GCThreshold)),
-		recorder:       metrics.NewRecorder(),
+		recorder:       recorder,
+		faultCtrs:      newFaultCounters(recorder.Registry()),
 		rcSlots:        simx.NewResource(eng, "rc-queue", cfg.RCQueueEntries),
 		gcActive:       make(map[int]bool),
 		pendingFlush:   make(map[topo.PPN]bool),
@@ -813,7 +815,7 @@ func (a *Array) finishPage(req *request, b metrics.Breakdown) {
 		kind = metrics.Write
 	}
 	if req.failed {
-		a.faultStats.RequestsFailed++
+		a.faultCtrs.requestsFailed.Inc()
 		a.recorder.RecordFailure(metrics.Failure{
 			ID:     req.id,
 			Kind:   kind,

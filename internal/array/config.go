@@ -11,6 +11,7 @@ import (
 	"triplea/internal/cluster"
 	"triplea/internal/fimm"
 	"triplea/internal/ftl"
+	"triplea/internal/metrics"
 	"triplea/internal/nand"
 	"triplea/internal/pcie"
 	"triplea/internal/simx"
@@ -21,6 +22,12 @@ import (
 // Config describes a full array build.
 type Config struct {
 	Geometry topo.Geometry
+
+	// Metrics selects the recorder backend: metrics.Exact (the zero
+	// value — every sample retained, byte-identical historical output)
+	// or metrics.Streaming (O(1) metric state for production-scale
+	// runs). See docs/metrics.md.
+	Metrics metrics.Backend
 
 	// Endpoint parameters not implied by the geometry.
 	BusPins         units.Lanes

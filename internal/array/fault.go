@@ -17,7 +17,11 @@ import (
 // every hook below is gated on faultsArmed (set by the injector), so
 // the golden-replay byte stream is untouched when no plan is attached.
 
-// FaultStats counts degraded-mode activity at the array layer.
+// FaultStats counts degraded-mode activity at the array layer. It is a
+// plain value snapshot: the live counts are registry-backed
+// (metrics.Counter entries under "fault." in the recorder's registry)
+// and reassembled here on query, so the golden replay's %+v rendering
+// is stable.
 type FaultStats struct {
 	RequestsFailed   uint64 // host requests terminated by a fault
 	PagesFailed      uint64 // page commands terminated by a fault
@@ -26,12 +30,41 @@ type FaultStats struct {
 	FlushesDropped   uint64 // buffered writes lost when their flush failed
 }
 
+// faultCounters are the live registry-backed fault counters; they sit
+// in the same registry as the request metrics, so a registry export
+// carries degraded-mode activity alongside latency and throughput.
+type faultCounters struct {
+	requestsFailed   *metrics.Counter
+	pagesFailed      *metrics.Counter
+	readsRemapped    *metrics.Counter
+	writesRedirected *metrics.Counter
+	flushesDropped   *metrics.Counter
+}
+
+func newFaultCounters(reg *metrics.Registry) faultCounters {
+	return faultCounters{
+		requestsFailed:   reg.NewCounter("fault.requests_failed"),
+		pagesFailed:      reg.NewCounter("fault.pages_failed"),
+		readsRemapped:    reg.NewCounter("fault.reads_remapped"),
+		writesRedirected: reg.NewCounter("fault.writes_redirected"),
+		flushesDropped:   reg.NewCounter("fault.flushes_dropped"),
+	}
+}
+
 // Health exposes the array's availability registry. It exists (all
 // online) even on unfaulted arrays so callers need no nil checks.
 func (a *Array) Health() *topo.Health { return a.health }
 
-// FaultStats reports degraded-mode counters.
-func (a *Array) FaultStats() FaultStats { return a.faultStats }
+// FaultStats reports degraded-mode counters as a value snapshot.
+func (a *Array) FaultStats() FaultStats {
+	return FaultStats{
+		RequestsFailed:   a.faultCtrs.requestsFailed.Value(),
+		PagesFailed:      a.faultCtrs.pagesFailed.Value(),
+		ReadsRemapped:    a.faultCtrs.readsRemapped.Value(),
+		WritesRedirected: a.faultCtrs.writesRedirected.Value(),
+		FlushesDropped:   a.faultCtrs.flushesDropped.Value(),
+	}
+}
 
 // ArmFaults marks the array as running under a fault plan: device
 // errors on fault paths terminate requests (recorded as failures)
@@ -85,7 +118,7 @@ func isFaultError(err error) bool {
 func (a *Array) failPage(ref *pageRef, up *pcie.Packet, cmd *cluster.Command) {
 	req := ref.req
 	req.failed = true
-	a.faultStats.PagesFailed++
+	a.faultCtrs.pagesFailed.Inc()
 	a.rcSlots.Release()
 	a.pktPool.Put(ref.down)
 	a.pktPool.Put(up)
@@ -103,7 +136,7 @@ func (a *Array) failPage(ref *pageRef, up *pcie.Packet, cmd *cluster.Command) {
 // mapping (if still current) is severed and the LPN joins the FTL's
 // lost set.
 func (a *Array) failFlushedWrite(ppn topo.PPN) {
-	a.faultStats.FlushesDropped++
+	a.faultCtrs.flushesDropped.Inc()
 	// The device never programmed this page, so its block's program
 	// cursor is behind the FTL's: close the block before anything
 	// appends to it (GC's erase resynchronises the cursors).
@@ -126,7 +159,7 @@ func (a *Array) restoreLostRead(ref *pageRef) bool {
 	if err := a.ensureMapped(ref.lpn); err != nil {
 		return false
 	}
-	a.faultStats.ReadsRemapped++
+	a.faultCtrs.readsRemapped.Inc()
 	return true
 }
 
@@ -137,7 +170,7 @@ func (a *Array) redirectWrite(lpn int64, target topo.FIMMID) topo.FIMMID {
 		return target
 	}
 	if fb, ok := a.ftl.FallbackFIMM(lpn); ok {
-		a.faultStats.WritesRedirected++
+		a.faultCtrs.writesRedirected.Inc()
 		return fb
 	}
 	return target // nothing placeable; let the write fail downstream

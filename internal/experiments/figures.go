@@ -56,17 +56,11 @@ func (s *Suite) Fig1() (*Fig1Result, *report.Table, error) {
 		res.StoreFactor = float64(last.StorageContention()) / float64(first.StorageContention())
 	}
 
-	t := report.NewTable(
+	t := report.CDFTable(
 		fmt.Sprintf("Figure 1: baseline latency CDF vs hot regions (link degr %.1fx, storage degr %.1fx)",
 			res.LinkFactor, res.StoreFactor),
-		"CDF", "hot=1(us)", "hot=2(us)", "hot=3(us)", "hot=4(us)", "hot=5(us)")
-	for row := 0; row < 10; row++ {
-		cells := []string{fmt.Sprintf("%.0f%%", res.CDFs[0][row].Fraction*100)}
-		for _, cdf := range res.CDFs {
-			cells = append(cells, fmt.Sprintf("%.0f", cdf[row].LatencyUS))
-		}
-		t.AddRow(cells...)
-	}
+		[]string{"CDF", "hot=1(us)", "hot=2(us)", "hot=3(us)", "hot=4(us)", "hot=5(us)"},
+		res.CDFs)
 	s.fig1, s.tables["fig1"] = res, t
 	return res, t, nil
 }
@@ -147,14 +141,9 @@ func (s *Suite) Fig11() ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t := report.NewTable(fmt.Sprintf("Figure 11 (%s): latency CDF", name),
-			"CDF", "baseline(us)", "triple-a(us)")
-		b, a := r.Base.CDF(10), r.Auto.CDF(10)
-		for i := range b {
-			t.AddRow(fmt.Sprintf("%.0f%%", b[i].Fraction*100),
-				fmt.Sprintf("%.0f", b[i].LatencyUS),
-				fmt.Sprintf("%.0f", a[i].LatencyUS))
-		}
+		t := report.CDFTable(fmt.Sprintf("Figure 11 (%s): latency CDF", name),
+			[]string{"CDF", "baseline(us)", "triple-a(us)"},
+			[][]metrics.CDFPoint{r.Base.CDF(10), r.Auto.CDF(10)})
 		out = append(out, t)
 	}
 	return out, nil
@@ -178,22 +167,23 @@ func (s *Suite) fig12() (*report.Table, error) {
 	}
 	cfg, opts := s.Config, s.Options
 	outs, err := sweep.Map(s.workers(), sweep.Indexed(points, s.Seed), func(sp sweep.Spec) ([]byte, error) {
-		h := sp.Index + 1
-		r, err := runPair(cfg, opts, sp.Seed, microProfile(h, requests, 1.5))
+		r, err := runPair(cfg, opts, sp.Seed, microProfile(sp.Index+1, requests, 1.5))
 		if err != nil {
 			return nil, err
 		}
-		return encodeRows([][]string{fig12Row(h, r)}), nil
+		return encodePairPoint(r)
 	})
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Figure 12: hot-cluster sensitivity (read micro-benchmark)",
 		"hot", "base lat(us)", "base IOPS", "3A lat(us)", "3A IOPS")
-	for _, b := range outs {
-		for _, row := range decodeRows(b) {
-			t.AddRow(row...)
+	for i, b := range outs {
+		pp, err := decodePairPoint(b)
+		if err != nil {
+			return nil, err
 		}
+		t.AddRow(fig12Row(i+1, pp)...)
 	}
 	return t, nil
 }
@@ -267,10 +257,10 @@ func (s *Suite) fig15() (*report.Table, error) {
 }
 
 // Fig16Result carries the latency time-series of the four migration
-// modes.
+// modes as downsampled series points (backend-agnostic values).
 type Fig16Result struct {
 	Labels []string
-	Series [][]metrics.Record
+	Series [][]metrics.SeriesPoint
 	AvgUS  []float64
 }
 
@@ -310,9 +300,7 @@ func (s *Suite) Fig16() (*Fig16Result, *report.Table, error) {
 		{"triple-a", &full},
 	}
 	const samples = 24
-	t := report.NewTable("Figure 16: latency series by migration mode (us, sampled over time)",
-		"sample", "baseline", "naive", "shadow", "triple-a")
-	var series [][]metrics.Record
+	var series [][]metrics.SeriesPoint
 	for _, r := range runs {
 		rec, err := s.replayOn(reqs, r.opts)
 		if err != nil {
@@ -322,17 +310,8 @@ func (s *Suite) Fig16() (*Fig16Result, *report.Table, error) {
 		res.AvgUS = append(res.AvgUS, rec.AvgLatency().Micros())
 	}
 	res.Series = series
-	for i := 0; i < samples; i++ {
-		cells := []string{fmt.Sprintf("%d", i)}
-		for _, ser := range series {
-			if i < len(ser) {
-				cells = append(cells, fmt.Sprintf("%.0f", ser[i].Latency().Micros()))
-			} else {
-				cells = append(cells, "-")
-			}
-		}
-		t.AddRow(cells...)
-	}
+	t := report.SeriesTable("Figure 16: latency series by migration mode (us, sampled over time)",
+		[]string{"sample", "baseline", "naive", "shadow", "triple-a"}, series, samples)
 	t.Title += fmt.Sprintf(" | avg us: base=%.0f naive=%.0f shadow=%.0f 3A=%.0f",
 		res.AvgUS[0], res.AvgUS[1], res.AvgUS[2], res.AvgUS[3])
 	s.fig16, s.tables["fig16"] = res, t

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
-	"strings"
 
 	"triplea/internal/array"
 	"triplea/internal/core"
@@ -21,8 +21,11 @@ import (
 // effectively-const package vars like NetworkSizes — never the *Suite
 // itself), each point function builds its whole arena (workload,
 // array, manager, recorder) inside the call, and results come back as
-// rendered row cells, so the assembled table is byte-identical for any
-// worker count.
+// JSON-encoded metric snapshots — exported registry values, never live
+// recorders — so the assembly side renders every row and the table is
+// byte-identical for any worker count (encoding/json round-trips
+// float64 exactly, so rendering from a decoded snapshot equals
+// rendering from the live recorder).
 
 // workers reports how many pool workers the suite's sweeps may use.
 // Under -tags simcheck the leak ledger (simx.CheckActive) is
@@ -35,31 +38,41 @@ func (s *Suite) workers() int {
 	return s.Parallel
 }
 
-// Row cells cross the worker boundary as bytes: cells joined by the
-// ASCII unit separator, rows by the record separator. No rendered cell
-// contains either byte.
-const (
-	cellSep = "\x1f"
-	rowSep  = "\x1e"
-)
-
-func encodeRows(rows [][]string) []byte {
-	parts := make([]string, len(rows))
-	for i, r := range rows {
-		parts[i] = strings.Join(r, cellSep)
-	}
-	return []byte(strings.Join(parts, rowSep))
+// pairPoint is the value one pair-run sweep worker hands back: the
+// baseline and Triple-A recorders frozen into snapshots, with sustained
+// throughput pre-computed over the standard window.
+type pairPoint struct {
+	Base metrics.Snapshot `json:"base"`
+	Auto metrics.Snapshot `json:"auto"`
 }
 
-func decodeRows(b []byte) [][]string {
-	if len(b) == 0 {
-		return nil
+func encodePairPoint(r *RunResult) ([]byte, error) {
+	return json.Marshal(pairPoint{
+		Base: r.Base.Snapshot(SustainedWindow),
+		Auto: r.Auto.Snapshot(SustainedWindow),
+	})
+}
+
+func decodePairPoint(b []byte) (pairPoint, error) {
+	var pp pairPoint
+	err := json.Unmarshal(b, &pp)
+	return pp, err
+}
+
+// NormLatency mirrors RunResult.NormLatency on snapshot values.
+func (pp pairPoint) NormLatency() float64 {
+	if pp.Base.AvgLatency == 0 {
+		return 1
 	}
-	var rows [][]string
-	for _, part := range strings.Split(string(b), rowSep) {
-		rows = append(rows, strings.Split(part, cellSep))
+	return float64(pp.Auto.AvgLatency) / float64(pp.Base.AvgLatency)
+}
+
+// NormIOPS mirrors RunResult.NormIOPS on snapshot values.
+func (pp pairPoint) NormIOPS() float64 {
+	if pp.Base.SustainedIOPS <= 0 {
+		return 1
 	}
-	return rows
+	return pp.Auto.SustainedIOPS / pp.Base.SustainedIOPS
 }
 
 // runOnePoint executes a profile on one array. It is the
@@ -119,29 +132,29 @@ func runPair(cfg array.Config, opts core.Options, seed uint64, p workload.Profil
 }
 
 // fig12Row renders one hot-cluster sweep point exactly as the serial
-// Figure 12 loop always has.
-func fig12Row(h int, r *RunResult) []string {
+// Figure 12 loop always has, now from snapshot values.
+func fig12Row(h int, pp pairPoint) []string {
 	return []string{
 		fmt.Sprintf("%d", h),
-		report.FormatUS(int64(r.Base.AvgLatency())),
-		report.FormatCount(r.Base.SustainedIOPS(SustainedWindow)),
-		report.FormatUS(int64(r.Auto.AvgLatency())),
-		report.FormatCount(r.Auto.SustainedIOPS(SustainedWindow)),
+		report.FormatUS(int64(pp.Base.AvgLatency)),
+		report.FormatCount(pp.Base.SustainedIOPS),
+		report.FormatUS(int64(pp.Auto.AvgLatency)),
+		report.FormatCount(pp.Auto.SustainedIOPS),
 	}
 }
 
-func fig13Row(size int, r *RunResult) []string {
-	nl := r.NormLatency()
+func fig13Row(size int, pp pairPoint) []string {
+	nl := pp.NormLatency()
 	return []string{
 		fmt.Sprintf("%d", size),
 		fmt.Sprintf("%.3f", nl),
 		fmt.Sprintf("%.1fx", 1/nl),
-		fmt.Sprintf("%.2f", r.NormIOPS()),
+		fmt.Sprintf("%.2f", pp.NormIOPS()),
 	}
 }
 
-func fig14Row(size int, r *RunResult) []string {
-	b, a := r.Base.MeanBreakdown(), r.Auto.MeanBreakdown()
+func fig14Row(size int, pp pairPoint) []string {
+	b, a := pp.Base.MeanBreakdown(), pp.Auto.MeanBreakdown()
 	return []string{
 		fmt.Sprintf("%d", size),
 		norm(a.LinkContention(), b.LinkContention()),
@@ -163,7 +176,8 @@ func fig15Row(label string, mb metrics.Breakdown) []string {
 }
 
 // networkPoint carries the rendered rows one network-size run
-// contributes to Figures 13, 14 and 15.
+// contributes to Figures 13, 14 and 15 (rendered on the assembly side
+// from the worker's snapshot pair).
 type networkPoint struct {
 	fig13, fig14         []string
 	fig15Base, fig15Auto []string
@@ -172,7 +186,7 @@ type networkPoint struct {
 // networkPoints runs the micro-benchmark across network sizes through
 // the sweep pool, caching the rendered rows (Figures 13-15 share the
 // sweep, so the pair runs happen once regardless of which figure asks
-// first).
+// first). Workers return snapshot pairs; all rendering happens here.
 func (s *Suite) networkPoints() ([]networkPoint, error) {
 	if s.netPoints != nil {
 		return s.netPoints, nil
@@ -183,27 +197,30 @@ func (s *Suite) networkPoints() ([]networkPoint, error) {
 	}
 	cfg, opts := s.Config, s.Options
 	outs, err := sweep.Map(s.workers(), sweep.Indexed(len(NetworkSizes), s.Seed), func(sp sweep.Spec) ([]byte, error) {
-		size := NetworkSizes[sp.Index]
 		c := cfg
-		c.Geometry.ClustersPerSwitch = size
+		c.Geometry.ClustersPerSwitch = NetworkSizes[sp.Index]
 		r, err := runPair(c, opts, sp.Seed, microProfile(4, requests, 1.5))
 		if err != nil {
 			return nil, err
 		}
-		return encodeRows([][]string{
-			fig13Row(size, r),
-			fig14Row(size, r),
-			fig15Row(fmt.Sprintf("base-4x%d", size), r.Base.MeanBreakdown()),
-			fig15Row(fmt.Sprintf("3A-4x%d", size), r.Auto.MeanBreakdown()),
-		}), nil
+		return encodePairPoint(r)
 	})
 	if err != nil {
 		return nil, err
 	}
 	pts := make([]networkPoint, len(outs))
 	for i, b := range outs {
-		rows := decodeRows(b)
-		pts[i] = networkPoint{fig13: rows[0], fig14: rows[1], fig15Base: rows[2], fig15Auto: rows[3]}
+		pp, err := decodePairPoint(b)
+		if err != nil {
+			return nil, err
+		}
+		size := NetworkSizes[i]
+		pts[i] = networkPoint{
+			fig13:     fig13Row(size, pp),
+			fig14:     fig14Row(size, pp),
+			fig15Base: fig15Row(fmt.Sprintf("base-4x%d", size), pp.Base.MeanBreakdown()),
+			fig15Auto: fig15Row(fmt.Sprintf("3A-4x%d", size), pp.Auto.MeanBreakdown()),
+		}
 	}
 	s.netPoints = pts
 	return pts, nil
@@ -212,7 +229,8 @@ func (s *Suite) networkPoints() ([]networkPoint, error) {
 // faultPoint runs one row of the degraded-array study: the full
 // arena — workload, fault plan, array, injector — is built inside the
 // call, so two rows can run on different workers without sharing
-// anything.
+// anything. The row crosses the worker boundary as a JSON value;
+// rendering happens on the assembly side.
 func faultPoint(cfg array.Config, opts core.Options, seed uint64, requests int, autonomic bool) ([]byte, error) {
 	p := microProfile(2, 20_000, 1.0)
 	p.Name = "fault-mixed"
@@ -264,5 +282,11 @@ func faultPoint(cfg array.Config, opts core.Options, seed uint64, requests int, 
 	for _, r := range is.Recoveries {
 		row.TTR += r.TTR()
 	}
-	return encodeRows([][]string{faultRowCells(row)}), nil
+	return json.Marshal(row)
+}
+
+func decodeFaultRow(b []byte) (FaultRow, error) {
+	var row FaultRow
+	err := json.Unmarshal(b, &row)
+	return row, err
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"triplea/internal/array"
+	"triplea/internal/metrics"
+	"triplea/internal/workload"
+)
+
+// runBackend executes one seeded micro-workload on a full array built
+// with the given recorder backend and returns the recorder.
+func runBackend(t *testing.T, backend metrics.Backend, seed uint64) *metrics.Recorder {
+	t.Helper()
+	s := NewSuite()
+	s.Seed = seed
+	s.Config.Metrics = backend
+	reqs, _, err := workload.Generate(s.Config.Geometry, workload.MicroRead(2, 2000, 120_000), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := array.New(s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestStreamingRunDeterminism extends the reproducibility contract to
+// the streaming backend's registry export: two same-seed runs of the
+// full array must serialize byte-identical registry JSON (histogram
+// buckets, windowed tracker, timelines, fault counters and all), and a
+// different seed must not.
+func TestStreamingRunDeterminism(t *testing.T) {
+	first := runBackend(t, metrics.Streaming, 42).ExportJSON()
+	second := runBackend(t, metrics.Streaming, 42).ExportJSON()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same-seed streaming registry exports differ:\n%s\n---\n%s", first, second)
+	}
+	other := runBackend(t, metrics.Streaming, 43).ExportJSON()
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced byte-identical registry exports")
+	}
+}
+
+// TestStreamingBackendParity runs the same seeded workload through both
+// backends on the real array and checks the streaming summary against
+// the exact one: counts and averages identical, tail percentiles within
+// the 1% histogram-accuracy contract (see docs/metrics.md).
+func TestStreamingBackendParity(t *testing.T) {
+	exact := runBackend(t, metrics.Exact, 42)
+	stream := runBackend(t, metrics.Streaming, 42)
+
+	if exact.Count() != stream.Count() || exact.Reads() != stream.Reads() || exact.Writes() != stream.Writes() {
+		t.Errorf("counts diverged: exact %d/%d/%d, streaming %d/%d/%d",
+			exact.Count(), exact.Reads(), exact.Writes(),
+			stream.Count(), stream.Reads(), stream.Writes())
+	}
+	if exact.AvgLatency() != stream.AvgLatency() {
+		t.Errorf("AvgLatency: exact=%v streaming=%v", exact.AvgLatency(), stream.AvgLatency())
+	}
+	if exact.IOPS() != stream.IOPS() {
+		t.Errorf("IOPS: exact=%v streaming=%v", exact.IOPS(), stream.IOPS())
+	}
+	if got, want := stream.SustainedIOPS(SustainedWindow), exact.SustainedIOPS(SustainedWindow); got != want {
+		t.Errorf("SustainedIOPS: exact=%v streaming=%v", want, got)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		want, got := exact.Percentile(p), stream.Percentile(p)
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > 0.01 {
+			t.Errorf("P%v: exact=%v streaming=%v relative error %.4f > 1%%", p, want, got, relErr)
+		}
+	}
+	if exact.MaxLatency() != stream.MaxLatency() {
+		t.Errorf("MaxLatency: exact=%v streaming=%v", exact.MaxLatency(), stream.MaxLatency())
+	}
+}

@@ -103,9 +103,11 @@ func (s *Suite) faultStudy() (*report.Table, error) {
 	}
 	t := newFaultTable()
 	for _, b := range outs {
-		for _, row := range decodeRows(b) {
-			t.AddRow(row...)
+		row, err := decodeFaultRow(b)
+		if err != nil {
+			return nil, err
 		}
+		t.AddRow(faultRowCells(row)...)
 	}
 	return t, nil
 }

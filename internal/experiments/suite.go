@@ -13,14 +13,15 @@ import (
 	"triplea/internal/ftl"
 	"triplea/internal/metrics"
 	"triplea/internal/report"
-	"triplea/internal/simx"
 	"triplea/internal/trace"
 	"triplea/internal/workload"
 )
 
 // SustainedWindow is the completion-rate window used for sustained
-// throughput (matches the workload burst ON phase).
-const SustainedWindow = 5 * simx.Millisecond
+// throughput (matches the workload burst ON phase). It aliases the
+// metrics default so the streaming backend's incremental tracker is
+// built for exactly this window.
+const SustainedWindow = metrics.DefaultSustainedWindow
 
 // RunResult holds one workload executed on both arrays.
 type RunResult struct {

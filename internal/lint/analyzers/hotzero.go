@@ -197,6 +197,9 @@ var hotCertified = []funcRef{
 	{"internal/metrics", "Recorder", "Record"},
 	{"internal/metrics", "Recorder", "RecordFailure"},
 	{"internal/metrics", "Breakdown", "Add"},
+	// registry counter increment: one add to a pre-registered slot
+	// (the array's fault counters fire on hot-reachable fault paths)
+	{"internal/metrics", "Counter", "Inc"},
 	{"internal/trace", "Request", "Validate"},
 	// errors.Is walks the wrapped chain without allocating
 	{"errors", "", "Is"},

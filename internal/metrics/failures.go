@@ -17,21 +17,42 @@ type Failure struct {
 	At     simx.Time // when the array gave up on the request
 }
 
-// RecordFailure adds one fault-terminated request.
+// RecordFailure adds one fault-terminated request. The exact backend
+// keeps the full log; the streaming backend keeps the count, the
+// failure timeline, and a capped ring of exemplars, so fault-heavy
+// million-request runs stay bounded.
 func (rc *Recorder) RecordFailure(f Failure) {
-	rc.failures = append(rc.failures, f) //simlint:coldalloc fault path: failure log
+	rc.failedCtr.Inc()
+	if rc.backend == Streaming {
+		rc.stream.failedAt.Observe(f.At)
+		rc.stream.exemplars.add(f)
+		return
+	}
+	rc.failures = append(rc.failures, f) //simlint:coldalloc fault path: exact-backend failure log
 }
 
 // Failures exposes the fault-terminated requests (callers must not
-// mutate).
-func (rc *Recorder) Failures() []Failure { return rc.failures }
+// mutate). Under streaming this is the retained exemplar window
+// (oldest-first, at most failureExemplarCap entries), not the full
+// population — FailedCount has the true total.
+func (rc *Recorder) Failures() []Failure {
+	if rc.backend == Streaming {
+		return rc.stream.exemplars.ordered()
+	}
+	return rc.failures
+}
 
 // FailedCount reports how many requests a fault terminated.
-func (rc *Recorder) FailedCount() int { return len(rc.failures) }
+func (rc *Recorder) FailedCount() int { return int(rc.failedCtr.Value()) }
 
 // CompletedBetween counts requests that completed in [lo, hi) — the
-// per-phase availability numerator.
+// per-phase availability numerator. Exact backend: precise scan.
+// Streaming backend: estimated from the completion timeline's
+// range-doubling buckets (exact when [lo,hi) is bucket-aligned).
 func (rc *Recorder) CompletedBetween(lo, hi simx.Time) int {
+	if rc.backend == Streaming {
+		return int(rc.stream.completed.CountBetween(lo, hi) + 0.5)
+	}
 	n := 0
 	for _, r := range rc.records {
 		if r.Complete >= lo && r.Complete < hi {
@@ -41,8 +62,12 @@ func (rc *Recorder) CompletedBetween(lo, hi simx.Time) int {
 	return n
 }
 
-// FailedBetween counts requests that failed in [lo, hi).
+// FailedBetween counts requests that failed in [lo, hi), with the same
+// backend split as CompletedBetween.
 func (rc *Recorder) FailedBetween(lo, hi simx.Time) int {
+	if rc.backend == Streaming {
+		return int(rc.stream.failedAt.CountBetween(lo, hi) + 0.5)
+	}
 	n := 0
 	for _, f := range rc.failures {
 		if f.At >= lo && f.At < hi {

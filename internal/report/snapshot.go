@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+
+	"triplea/internal/metrics"
+)
+
+// Renderers for metric values exported by internal/metrics: tables are
+// built from CDF points and series samples — plain values — rather than
+// raw records, so they work identically over both recorder backends and
+// over snapshots that crossed a sweep-worker boundary.
+
+// CDFTable renders one latency-CDF table: one row per fraction, the
+// fraction in the first column and each distribution's latency (µs,
+// rounded) in the following columns. All CDFs must be sampled at the
+// same fractions (the paper's figures use 10).
+func CDFTable(title string, columns []string, cdfs [][]metrics.CDFPoint) *Table {
+	t := NewTable(title, columns...)
+	if len(cdfs) == 0 {
+		return t
+	}
+	for row := range cdfs[0] {
+		cells := make([]string, 0, 1+len(cdfs))
+		cells = append(cells, fmt.Sprintf("%.0f%%", cdfs[0][row].Fraction*100))
+		for _, cdf := range cdfs {
+			cells = append(cells, fmt.Sprintf("%.0f", cdf[row].LatencyUS))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// SeriesTable renders aligned latency time-series: one row per sample
+// index up to samples, each series' latency (µs, rounded) per column,
+// "-" where a series ran out of points.
+func SeriesTable(title string, columns []string, series [][]metrics.SeriesPoint, samples int) *Table {
+	t := NewTable(title, columns...)
+	for i := 0; i < samples; i++ {
+		cells := make([]string, 0, 1+len(series))
+		cells = append(cells, fmt.Sprintf("%d", i))
+		for _, ser := range series {
+			if i < len(ser) {
+				cells = append(cells, fmt.Sprintf("%.0f", ser[i].Latency.Micros()))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
