@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke metrics-smoke
+.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke metrics-smoke graph graph-check
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,13 @@ $(SIMLINT): $(shell find cmd/simlint internal/lint -name '*.go' -not -path '*/te
 	$(GO) build -o $(SIMLINT) ./cmd/simlint
 
 # simlint: the repository's determinism lint suite, run through go vet
-# so analysis units and caching come from the build system. See
+# so analysis units and caching come from the build system. Runs twice:
+# once over the default build and once with -tags simcheck, so the
+# invariant-checking file variants are linted too. See
 # docs/static-analysis.md.
 lint: $(SIMLINT)
 	$(GO) vet -vettool=$(SIMLINT) ./...
+	$(GO) vet -tags simcheck -vettool=$(SIMLINT) ./...
 
 # Every active //simlint:* suppression with file:line, for periodic
 # audit (testdata fixtures excluded — their suppressions are the test).
@@ -50,6 +53,19 @@ lint-hotzero-list:
 	@grep -rn '//simlint:cold' --include='*.go' . \
 		| grep -v '/testdata/' | grep -v '^./internal/lint/' | grep -v '^./cmd/simlint/' \
 		| sed 's|^\./||' || echo "no audited hot-path escapes"
+
+# Regenerate the certified component-communication graph artifacts
+# (docs/graph/components.{dot,json}) from source. Fails if any
+# cross-package component reference is neither a componentEdges
+# manifest row nor an audited //simlint:edge site, or if a manifest row
+# no longer has a witnessing reference. See docs/architecture.md.
+graph:
+	$(GO) run ./cmd/simgraph
+
+# CI variant: re-render in memory and fail if the committed artifacts
+# are stale instead of rewriting them.
+graph-check:
+	$(GO) run ./cmd/simgraph -check
 
 vet:
 	$(GO) vet ./...
@@ -111,7 +127,7 @@ metrics-smoke:
 	$(GO) run ./cmd/triplea-bench -experiment table1 -requests 4000 \
 		-switches 2 -clusters 4 -metrics streaming
 
-check: build fmt-check vet lint test race simcheck
+check: build fmt-check vet lint graph-check test race simcheck
 
 clean:
 	rm -rf bin

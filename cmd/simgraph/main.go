@@ -1,0 +1,377 @@
+// Command simgraph renders the statically-certified
+// component-communication graph of the simulation core as
+// deterministic DOT and JSON artifacts — the machine-checked
+// counterpart of the architecture diagram, and the certified cut set
+// the partitioned-simulation work starts from.
+//
+//	go run ./cmd/simgraph          # rewrite docs/graph/components.{dot,json}
+//	go run ./cmd/simgraph -check   # fail if the committed artifacts are stale
+//
+// The tool loads the component packages from source
+// (internal/lint/srcload), extracts every cross-package component
+// reference with the same pass the partsafe analyzer enforces
+// (callgraph.CollectRefs), and joins them against the declared
+// architecture manifest (analyzers.ComponentEdges). It exits non-zero
+// if any reference is neither registered nor audited with the simlint:edge marker
+// (lint would fail too — defense in depth), or if a manifest row has
+// no witnessing reference left (a rotten entry), so the committed
+// graph can only ever be the true one. Output is byte-deterministic:
+// nodes and edges are fully sorted and no map iteration order leaks
+// into either artifact.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"triplea/internal/lint/analyzers"
+	"triplea/internal/lint/callgraph"
+	"triplea/internal/lint/srcload"
+)
+
+// zoneOrder fixes the rendering order of the partition zones.
+var zoneOrder = []string{"global", "fabric", "subtree", "service"}
+
+// zoneLabels names the zones in the DOT rendering.
+var zoneLabels = map[string]string{
+	"global":  "global coordination (one instance per array)",
+	"fabric":  "pcie fabric (the partition cut)",
+	"subtree": "switch subtree (replicated per partition)",
+	"service": "services (partition-aware by declaration)",
+}
+
+type node struct {
+	Pkg  string `json:"pkg"`  // package-path suffix
+	Name string `json:"name"` // short name
+	Zone string `json:"zone"`
+}
+
+type edge struct {
+	From       string   `json:"from"`
+	To         string   `json:"to"`
+	Type       string   `json:"type"`
+	Via        string   `json:"via,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Kinds      []string `json:"kinds"`
+	Registered bool     `json:"registered"`
+	Audited    bool     `json:"audited,omitempty"`
+	Cut        bool     `json:"cut"`
+	Sync       bool     `json:"sync"`
+	Sites      []string `json:"sites"`
+}
+
+type graph struct {
+	Schema string `json:"schema"`
+	Nodes  []node `json:"nodes"`
+	Edges  []edge `json:"edges"`
+}
+
+func main() {
+	dir := flag.String("dir", "docs/graph", "artifact directory")
+	check := flag.Bool("check", false, "verify committed artifacts instead of writing")
+	flag.Parse()
+
+	g, problems, err := buildGraph()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simgraph:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintln(os.Stderr, "simgraph: the component graph is not certified:")
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "  "+p)
+		}
+		os.Exit(2)
+	}
+
+	artifacts := []struct {
+		name string
+		data []byte
+	}{
+		{"components.dot", renderDOT(g)},
+		{"components.json", renderJSON(g)},
+	}
+
+	if *check {
+		stale := false
+		for _, a := range artifacts {
+			full := filepath.Join(*dir, a.name)
+			committed, err := os.ReadFile(full)
+			if err != nil || !bytes.Equal(committed, a.data) {
+				fmt.Fprintf(os.Stderr, "simgraph: %s is stale (run `make graph` and commit the result)\n", full)
+				stale = true
+			}
+		}
+		if stale {
+			os.Exit(1)
+		}
+		fmt.Printf("simgraph: %d nodes, %d edges; committed artifacts match the source\n",
+			len(g.Nodes), len(g.Edges))
+		return
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "simgraph:", err)
+		os.Exit(1)
+	}
+	for _, a := range artifacts {
+		if err := os.WriteFile(filepath.Join(*dir, a.name), a.data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simgraph:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("simgraph: wrote %s/{components.dot,components.json}: %d nodes, %d edges\n",
+		*dir, len(g.Nodes), len(g.Edges))
+}
+
+// buildGraph loads the component scope and joins extracted references
+// against the manifest. problems lists certification failures
+// (unregistered+unaudited references, rotten manifest rows).
+func buildGraph() (*graph, []string, error) {
+	root, err := os.Getwd()
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath, err := srcload.ModulePath(root)
+	if err != nil {
+		return nil, nil, fmt.Errorf("run from the module root: %w", err)
+	}
+	loader := srcload.New(root, modPath)
+	scope := analyzers.ComponentScope()
+	zones := analyzers.ComponentZones()
+
+	type key struct{ from, to, typ string }
+	merged := make(map[key]*edge)
+	witnessed := make(map[key]bool)
+	var problems []string
+
+	for _, suffix := range scope {
+		pkg, err := loader.Load(modPath + "/" + suffix)
+		if err != nil {
+			return nil, nil, err
+		}
+		refs := callgraph.CollectRefs(pkg.Pkg, pkg.Info, pkg.Files, nil, analyzers.IsComponentType)
+		for _, r := range refs {
+			toSuffix := scopeSuffix(r.To.Pkg().Path(), scope)
+			if toSuffix == "" {
+				continue // unreachable: the component filter is scope-bounded
+			}
+			k := key{suffix, toSuffix, r.To.Name()}
+			witnessed[k] = true
+			pos := loader.Fset().Position(r.Pos)
+			site := fmt.Sprintf("%s:%d (%s)", relPath(root, pos.Filename), pos.Line, r.Site)
+			audited := analyzers.MarkerNear(loader.Fset(), fileAt(pkg, r.Pos), r.Pos, "edge")
+			registered := analyzers.EdgeRegistered(pkg.Path, r.To.Pkg().Path(), r.To.Name())
+			if !registered && !audited {
+				problems = append(problems,
+					fmt.Sprintf("undeclared edge %s -> %s.%s at %s", suffix, toSuffix, r.To.Name(), site))
+			}
+			e := merged[k]
+			if e == nil {
+				e = &edge{
+					From: suffix, To: toSuffix, Type: r.To.Name(),
+					Registered: registered,
+					Audited:    true,
+					Cut:        cutEdge(zones[suffix], zones[toSuffix]),
+					Sync:       zones[toSuffix] == "service" && zones[suffix] != "service",
+				}
+				merged[k] = e
+			}
+			e.Kinds = appendUnique(e.Kinds, r.Kind.String())
+			e.Sites = appendUnique(e.Sites, site)
+			// Audited means "unregistered, and every witnessing site
+			// carries the simlint:edge marker".
+			if registered || !audited {
+				e.Audited = false
+			}
+		}
+	}
+
+	manifest := analyzers.ComponentEdges()
+	for _, m := range manifest {
+		k := key{m.From, m.To, m.Type}
+		if !witnessed[k] {
+			problems = append(problems,
+				fmt.Sprintf("manifest row %s -> %s.%s (%s) has no witnessing reference: drop it",
+					m.From, m.To, m.Type, m.Via))
+			continue
+		}
+		if e := merged[k]; e != nil {
+			e.Via, e.Note = m.Via, m.Note
+		}
+	}
+	sort.Strings(problems)
+
+	g := &graph{Schema: "triplea-component-graph/v1"}
+	for _, suffix := range scope {
+		g.Nodes = append(g.Nodes, node{Pkg: suffix, Name: path.Base(suffix), Zone: zones[suffix]})
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		if zi, zj := zoneRank(g.Nodes[i].Zone), zoneRank(g.Nodes[j].Zone); zi != zj {
+			return zi < zj
+		}
+		return g.Nodes[i].Name < g.Nodes[j].Name
+	})
+	for _, e := range merged { //simlint:ordered collected into a slice and sorted below
+		sort.Strings(e.Kinds)
+		sort.Strings(e.Sites)
+		g.Edges = append(g.Edges, *e)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Type < b.Type
+	})
+	return g, problems, nil
+}
+
+// cutEdge reports whether a reference between the two zones crosses
+// the partition boundary: state a partitioned engine must own or
+// mediate. Same-zone containment and service use are not cuts.
+func cutEdge(fz, tz string) bool {
+	return fz != tz && tz != "service" && fz != "" && tz != ""
+}
+
+func zoneRank(z string) int {
+	for i, zz := range zoneOrder {
+		if z == zz {
+			return i
+		}
+	}
+	return len(zoneOrder)
+}
+
+func scopeSuffix(pkgPath string, scope []string) string {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return s
+		}
+	}
+	return ""
+}
+
+func relPath(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(file)
+}
+
+func fileAt(pkg *srcload.Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// ---- rendering ----
+
+func renderJSON(g *graph) []byte {
+	out, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		panic(err) // marshaling plain structs cannot fail
+	}
+	return append(out, '\n')
+}
+
+func renderDOT(g *graph) []byte {
+	var b strings.Builder
+	b.WriteString("// Generated by `make graph` (cmd/simgraph). Do not edit:\n")
+	b.WriteString("// regenerate after changing component wiring or the manifest.\n")
+	b.WriteString("digraph components {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")
+	for _, zone := range zoneOrder {
+		var names []string
+		for _, n := range g.Nodes {
+			if n.Zone == zone {
+				names = append(names, n.Name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "  subgraph cluster_%s {\n", zone)
+		fmt.Fprintf(&b, "    label=%q;\n    color=gray;\n", zoneLabels[zone])
+		for _, name := range names {
+			fmt.Fprintf(&b, "    %q;\n", name)
+		}
+		b.WriteString("  }\n")
+	}
+	// One DOT edge per (from, to), labeled with the referenced types;
+	// cut edges render bold red, service (sync) edges dashed gray.
+	type pair struct{ from, to string }
+	byPair := make(map[pair][]edge)
+	var pairs []pair
+	for _, e := range g.Edges {
+		p := pair{e.From, e.To}
+		if _, ok := byPair[p]; !ok {
+			pairs = append(pairs, p)
+		}
+		byPair[p] = append(byPair[p], e)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, p := range pairs {
+		es := byPair[p]
+		var typeNames []string
+		cut, sync, audited := false, false, false
+		for _, e := range es {
+			name := e.Type
+			if e.Audited {
+				name += "*"
+				audited = true
+			}
+			typeNames = append(typeNames, name)
+			cut = cut || e.Cut
+			sync = sync || e.Sync
+		}
+		sort.Strings(typeNames)
+		// Type names are identifiers: safe to interpolate into a DOT
+		// double-quoted string raw, with \n line separators.
+		attrs := fmt.Sprintf("label=\"%s\"", strings.Join(typeNames, "\\n"))
+		switch {
+		case cut:
+			attrs += ", color=\"#b22222\", style=bold"
+		case sync:
+			attrs += ", color=gray, style=dashed"
+		}
+		if audited {
+			attrs += ", fontcolor=\"#b8860b\""
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", path.Base(p.from), path.Base(p.to), attrs)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

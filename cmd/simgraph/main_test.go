@@ -1,0 +1,101 @@
+package main
+
+// The artifacts are committed and CI diffs a regeneration against
+// them, so byte-determinism is a contract, not a nicety: these tests
+// pin it at both levels — the renderers on a synthetic model, and the
+// whole pipeline (source loading, extraction, aggregation) end to end
+// against the real repository.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// synthetic builds a small graph in two different insertion orders;
+// the rendered bytes must not depend on which one we got.
+func synthetic(reversed bool) *graph {
+	nodes := []node{
+		{Pkg: "internal/array", Name: "array", Zone: "global"},
+		{Pkg: "internal/pcie", Name: "pcie", Zone: "fabric"},
+		{Pkg: "internal/cluster", Name: "cluster", Zone: "subtree"},
+		{Pkg: "internal/simx", Name: "simx", Zone: "service"},
+	}
+	edges := []edge{
+		{From: "internal/array", To: "internal/pcie", Type: "Link", Via: "fabric",
+			Kinds: []string{"field"}, Registered: true, Cut: true,
+			Sites: []string{"internal/array/array.go:10 (field Array.up)"}},
+		{From: "internal/array", To: "internal/pcie", Type: "Packet", Via: "fabric",
+			Kinds: []string{"store"}, Registered: true, Cut: true,
+			Sites: []string{"internal/array/array.go:20 (store to Packet.Addr)"}},
+		{From: "internal/cluster", To: "internal/simx", Type: "Engine", Via: "engine",
+			Kinds: []string{"field"}, Registered: true, Sync: true,
+			Sites: []string{"internal/cluster/cluster.go:5 (field Endpoint.eng)"}},
+	}
+	if reversed {
+		for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+			edges[i], edges[j] = edges[j], edges[i]
+		}
+	}
+	return &graph{Schema: "triplea-component-graph/v1", Nodes: nodes, Edges: edges}
+}
+
+func TestRenderDOTShape(t *testing.T) {
+	out := string(renderDOT(synthetic(false)))
+	for _, want := range []string{
+		`subgraph cluster_global`,
+		`subgraph cluster_fabric`,
+		`subgraph cluster_subtree`,
+		`subgraph cluster_service`,
+		// Two edges to the same target collapse into one DOT edge with
+		// a real \n separator between type names — not an escaped one.
+		`"array" -> "pcie" [label="Link\nPacket", color="#b22222", style=bold];`,
+		`"cluster" -> "simx" [label="Engine", color=gray, style=dashed];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\\n`) {
+		t.Errorf("DOT labels double-escape the newline separator:\n%s", out)
+	}
+}
+
+func TestRenderJSONShape(t *testing.T) {
+	out := string(renderJSON(synthetic(false)))
+	for _, want := range []string{
+		`"schema": "triplea-component-graph/v1"`,
+		`"cut": true`,
+		`"sync": true`,
+		`"sites"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildGraphDeterministic(t *testing.T) {
+	// The real pipeline, twice, from a fresh loader each time: any map
+	// iteration leaking into node/edge/kind/site order shows up as a
+	// byte diff here long before CI diffs the committed artifacts.
+	t.Chdir("../..")
+	var dots, jsons [][]byte
+	for i := 0; i < 2; i++ {
+		g, problems, err := buildGraph()
+		if err != nil {
+			t.Fatalf("buildGraph: %v", err)
+		}
+		if len(problems) > 0 {
+			t.Fatalf("component graph not certified: %v", problems)
+		}
+		dots = append(dots, renderDOT(g))
+		jsons = append(jsons, renderJSON(g))
+	}
+	if !bytes.Equal(dots[0], dots[1]) {
+		t.Errorf("DOT output differs between two identical builds")
+	}
+	if !bytes.Equal(jsons[0], jsons[1]) {
+		t.Errorf("JSON output differs between two identical builds")
+	}
+}

@@ -1,0 +1,307 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"maps"
+
+	"triplea/internal/lint/analysis"
+	"triplea/internal/lint/callgraph"
+)
+
+// Partsafe certifies the component-communication graph of the
+// simulation core: every way one component package can reach another's
+// mutable state must be a declared, audited edge.
+//
+// The ROADMAP's partitioned-simulation direction — one huge array run
+// split per PCI-E switch subtree with conservative time-window
+// synchronization — is only sound if no state is shared between
+// subtrees except through the pcie links the time windows synchronize
+// and the explicitly declared coordination services (simx engine,
+// metrics registry, topo health, trace types). Triple-A's own
+// architecture argument rests on the same property: autonomy per
+// switch subtree, cross-subtree traffic only via the root complex.
+// Until this analyzer that property was folklore; partsafe makes it a
+// machine-checked invariant, the way poolsafe did for pooled-object
+// ownership and hotzero did for hot-path allocation-freedom.
+//
+// Mechanics: callgraph.CollectRefs extracts every HOLD of a foreign
+// component reference (struct field, package-level var, closure
+// capture) and every WIRING or DISPATCH site (composite literal of a
+// foreign component, store through a foreign component's field, call
+// through a foreign interface method). Each reference P -> Q.T must
+// match a row of componentEdges — the one-line-per-edge architecture
+// manifest below — or the build fails at the offending wiring site.
+// Pure value types (units quantities, topo addresses, timing structs)
+// are exempt: copying them cannot couple two components (see
+// callgraph.Stateful).
+//
+// On top of the manifest, a zone discipline orders the graph for
+// partition-readiness. Every component package has a zone:
+//
+//	subtree — state that lives inside one switch subtree and would be
+//	          owned by one partition (nand, fimm, cluster);
+//	fabric  — the pcie links and switches cross-subtree traffic is
+//	          serialized through: the partition cut points;
+//	global  — array-wide coordination that exists once (array, core,
+//	          ftl, fault);
+//	service — passive leaf services every partition may use (simx,
+//	          topo, metrics, trace): they reference no component.
+//
+// References may point down or sideways (global -> anything, subtree
+// -> subtree/fabric/service, fabric -> service, service -> service)
+// but never up: a subtree component holding a reference to the global
+// coordination layer, or the fabric reaching into components, would
+// let partition-local code touch cross-partition state behind the
+// synchronization protocol's back. Upward references are rejected with
+// a distinct diagnostic and cannot be registered — only restructured,
+// or carried as an audited //simlint:edge escape while they are.
+//
+// The audited escape for a reference the manifest should not bless
+// permanently is //simlint:edge on the site (or the line above). The
+// verified graph is rendered by `make graph` (cmd/simgraph) as
+// deterministic DOT + JSON artifacts in docs/graph/, with the partition
+// cut set marked — see docs/architecture.md.
+var Partsafe = &analysis.Analyzer{
+	Name: "partsafe",
+	Doc:  "certify the component-communication graph: every cross-package component reference must be a declared manifest edge, and references never point up the zone order (subtree -> global is forbidden)",
+	Run:  runPartsafe,
+}
+
+// partsafePackageSuffixes is the component scope: the simulation core
+// and the service packages it communicates through. internal/units is
+// deliberately absent — it defines only pure value types, which are
+// exempt from edge accounting anyway.
+var partsafePackageSuffixes = []string{
+	"internal/simx",
+	"internal/nand",
+	"internal/fimm",
+	"internal/cluster",
+	"internal/pcie",
+	"internal/topo",
+	"internal/ftl",
+	"internal/core",
+	"internal/array",
+	"internal/fault",
+	"internal/metrics",
+	"internal/trace",
+}
+
+// componentZones assigns each component package its partition zone.
+var componentZones = map[string]string{
+	"internal/nand":    "subtree",
+	"internal/fimm":    "subtree",
+	"internal/cluster": "subtree",
+	"internal/pcie":    "fabric",
+	"internal/array":   "global",
+	"internal/core":    "global",
+	"internal/ftl":     "global",
+	"internal/fault":   "global",
+	"internal/simx":    "service",
+	"internal/topo":    "service",
+	"internal/metrics": "service",
+	"internal/trace":   "service",
+}
+
+// componentVias classifies what kind of channel a declared edge rides:
+//
+//	engine      — simx event scheduling and resource grants (each
+//	              partition runs its own engine; never a cut)
+//	fabric      — pcie packets/links/switches (THE cut: cross-subtree
+//	              traffic serializes here)
+//	containment — ownership of subordinate hardware within one subtree
+//	              (cluster -> fimm -> nand); never crosses a subtree
+//	construction— array-wide wiring done once at build/config time
+//	control     — the global coordination layer steering subtree or
+//	              fabric state at runtime (cut when partitioned)
+//	registry    — the metrics registry/recorder sync service
+//	health      — the topo availability registry sync service
+//	trace       — workload records flowing through the host interface
+//	result      — completion/timing values carried back by value
+//	              (stateful only through their error field)
+var componentVias = map[string]bool{
+	"engine":       true,
+	"fabric":       true,
+	"containment":  true,
+	"construction": true,
+	"control":      true,
+	"registry":     true,
+	"health":       true,
+	"trace":        true,
+	"result":       true,
+}
+
+// ComponentEdge is one declared edge of the architecture manifest: the
+// holding package From may reference the stateful type To.Type, over
+// the Via channel class.
+type ComponentEdge struct {
+	From, To string // package-path suffixes
+	Type     string // the referenced type's name
+	Via      string // channel class (componentVias)
+	Note     string // why the edge exists
+}
+
+// componentEdges is the architecture manifest: the full declared
+// component-communication graph of the simulation core, one line per
+// (holder, type) edge, grouped by holding package. Every cross-package
+// component reference in the sim core must match a row here (or carry
+// an audited //simlint:edge); cmd/simgraph fails if a row has no
+// witnessing reference left, so the table cannot rot in either
+// direction. Sourced from the array/topo construction code and audited
+// for PR 9 — see docs/architecture.md for the rendered graph.
+var componentEdges = []ComponentEdge{
+	// internal/array (global): owns the wiring of the whole machine.
+	{From: "internal/array", To: "internal/simx", Type: "Engine", Via: "engine", Note: "every array event schedules on the engine"},
+	{From: "internal/array", To: "internal/simx", Type: "Resource", Via: "engine", Note: "root-complex DMA slots are an engine resource"},
+	{From: "internal/array", To: "internal/pcie", Type: "RootComplex", Via: "fabric", Note: "host-side injection point for downstream packets"},
+	{From: "internal/array", To: "internal/pcie", Type: "Switch", Via: "fabric", Note: "per-subtree switches wired at construction"},
+	{From: "internal/array", To: "internal/pcie", Type: "Link", Via: "fabric", Note: "up/down links per switch and endpoint"},
+	{From: "internal/array", To: "internal/pcie", Type: "Packet", Via: "fabric", Note: "packets filled for downstream submission"},
+	{From: "internal/array", To: "internal/pcie", Type: "Pool", Via: "fabric", Note: "packet free-list shared with the fabric"},
+	{From: "internal/array", To: "internal/cluster", Type: "Endpoint", Via: "control", Note: "SSD-cluster endpoints the array steers"},
+	{From: "internal/array", To: "internal/cluster", Type: "Command", Via: "control", Note: "flash commands the array fills and retires"},
+	{From: "internal/array", To: "internal/cluster", Type: "CommandPool", Via: "control", Note: "command free-list shared with endpoints"},
+	{From: "internal/array", To: "internal/cluster", Type: "OpResult", Via: "result", Note: "completion results carried back by value"},
+	{From: "internal/array", To: "internal/cluster", Type: "Params", Via: "construction", Note: "endpoint build parameters"},
+	{From: "internal/array", To: "internal/ftl", Type: "FTL", Via: "control", Note: "mapping/GC brain consulted on every host op"},
+	{From: "internal/array", To: "internal/ftl", Type: "GCPlan", Via: "control", Note: "GC plans executed step by step"},
+	{From: "internal/array", To: "internal/metrics", Type: "Recorder", Via: "registry", Note: "per-run metrics sink"},
+	{From: "internal/array", To: "internal/topo", Type: "Health", Via: "health", Note: "availability registry consulted and updated"},
+
+	// internal/core (global): the autonomic manager above the array.
+	{From: "internal/core", To: "internal/array", Type: "Array", Via: "control", Note: "the manager drives the array it monitors"},
+	{From: "internal/core", To: "internal/array", Type: "Hooks", Via: "control", Note: "implements the array's observation hooks"},
+
+	// internal/fault (global): scripted failure injection.
+	{From: "internal/fault", To: "internal/array", Type: "Array", Via: "control", Note: "fault scripts flip array state"},
+
+	// internal/ftl (global): address translation and GC planning.
+	{From: "internal/ftl", To: "internal/topo", Type: "Health", Via: "health", Note: "plans around failed planes"},
+
+	// internal/cluster (subtree): one SSD-cluster endpoint.
+	{From: "internal/cluster", To: "internal/simx", Type: "Engine", Via: "engine", Note: "endpoint pipeline stages schedule on the engine"},
+	{From: "internal/cluster", To: "internal/simx", Type: "Resource", Via: "engine", Note: "bus/staging/HAL/write-buffer stage resources"},
+	{From: "internal/cluster", To: "internal/simx", Type: "Grantee", Via: "engine", Note: "implements the resource-grant callback"},
+	{From: "internal/cluster", To: "internal/simx", Type: "Handler", Via: "engine", Note: "implements the event callback"},
+	{From: "internal/cluster", To: "internal/fimm", Type: "FIMM", Via: "containment", Note: "flash interface modules inside the endpoint"},
+	{From: "internal/cluster", To: "internal/fimm", Type: "Done", Via: "containment", Note: "implements fimm's completion callback"},
+	{From: "internal/cluster", To: "internal/pcie", Type: "Link", Via: "fabric", Note: "upstream link completions return on"},
+	{From: "internal/cluster", To: "internal/pcie", Type: "Packet", Via: "fabric", Note: "completion packets built for the upstream link"},
+	{From: "internal/cluster", To: "internal/pcie", Type: "Pool", Via: "fabric", Note: "packet free-list shared with the fabric"},
+	{From: "internal/cluster", To: "internal/pcie", Type: "Receiver", Via: "fabric", Note: "implements packet delivery from the fabric"},
+	{From: "internal/cluster", To: "internal/pcie", Type: "Accepted", Via: "fabric", Note: "implements the flow-control accept callback"},
+
+	// internal/fimm (subtree): flash interface module.
+	{From: "internal/fimm", To: "internal/nand", Type: "Package", Via: "containment", Note: "NAND packages behind the channel"},
+	{From: "internal/fimm", To: "internal/simx", Type: "Engine", Via: "engine", Note: "channel arbitration schedules on the engine"},
+	{From: "internal/fimm", To: "internal/simx", Type: "Resource", Via: "engine", Note: "the shared channel is an engine resource"},
+
+	// internal/nand (subtree): package/die/plane timing model.
+	{From: "internal/nand", To: "internal/simx", Type: "Engine", Via: "engine", Note: "die operations schedule on the engine"},
+	{From: "internal/nand", To: "internal/simx", Type: "Resource", Via: "engine", Note: "per-die occupancy is an engine resource"},
+
+	// internal/pcie (fabric): links, switches, root complex.
+	{From: "internal/pcie", To: "internal/simx", Type: "Engine", Via: "engine", Note: "wire transfers schedule on the engine"},
+	{From: "internal/pcie", To: "internal/simx", Type: "Resource", Via: "engine", Note: "link occupancy is an engine resource"},
+}
+
+// ---- the analyzer ----
+
+func runPartsafe(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inPackageSet(pass.Pkg.Path(), partsafePackageSuffixes) {
+		return nil, nil
+	}
+	refs := callgraph.CollectRefs(pass.Pkg, pass.TypesInfo, pass.Files,
+		func(f *ast.File) bool { return isTestFile(pass, f.Pos()) },
+		IsComponentType)
+	from := pass.Pkg.Path()
+	for _, r := range refs {
+		if suppressed(pass, r.Pos, "edge") {
+			continue
+		}
+		to := r.To.Pkg().Path()
+		if EdgeRegistered(from, to, r.To.Name()) {
+			continue
+		}
+		fz, tz := zoneOf(from), zoneOf(to)
+		if !ZoneAllowed(fz, tz) {
+			pass.Reportf(r.Pos,
+				"partsafe: %s (%s %s zone) reaches up to %s.%s (%s zone): partition-local code must not hold coordination-layer state — invert the dependency (callback interface declared on the low side) or audit with //simlint:edge",
+				r.Site, pass.Pkg.Name(), fz, r.To.Pkg().Name(), r.To.Name(), tz)
+			continue
+		}
+		pass.Reportf(r.Pos,
+			"partsafe: undeclared component edge %s -> %s.%s (%s): register it in the componentEdges manifest or audit with //simlint:edge",
+			pass.Pkg.Name(), r.To.Pkg().Name(), r.To.Name(), r.Site)
+	}
+	return nil, nil
+}
+
+// ---- shared policy surface (cmd/simgraph builds the artifacts from
+// the same tables and predicates the analyzer enforces) ----
+
+// IsComponentType reports whether tn is a component type for partsafe:
+// a named type declared in one of the component-scope packages.
+func IsComponentType(tn *types.TypeName) bool {
+	return tn != nil && tn.Pkg() != nil &&
+		inPackageSet(tn.Pkg().Path(), partsafePackageSuffixes)
+}
+
+// EdgeRegistered reports whether the manifest declares the edge from
+// the holding package to the named type. Suffix matching lets analyzer
+// testdata fakes register alongside the real packages.
+func EdgeRegistered(fromPath, toPath, typeName string) bool {
+	for _, e := range componentEdges {
+		if e.Type == typeName && hasPathSuffix(fromPath, e.From) && hasPathSuffix(toPath, e.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// zoneOf resolves a package path to its component zone ("" if the
+// package is outside the component scope).
+func zoneOf(path string) string {
+	for suffix, z := range componentZones {
+		if hasPathSuffix(path, suffix) {
+			return z
+		}
+	}
+	return ""
+}
+
+// ZoneAllowed reports whether a reference from zone fz to zone tz
+// points down or sideways in the partition order. Everything may use
+// the service leaves; only the global coordination layer may reach
+// into subtree and fabric state; nothing reaches up.
+func ZoneAllowed(fz, tz string) bool {
+	switch fz {
+	case "global":
+		return true
+	case "fabric":
+		return tz == "fabric" || tz == "service"
+	case "subtree":
+		return tz == "subtree" || tz == "fabric" || tz == "service"
+	case "service":
+		return tz == "service"
+	}
+	return true // outside the zone map: the manifest check already ran
+}
+
+// ComponentScope returns the component-package suffixes (copy).
+func ComponentScope() []string {
+	return append([]string(nil), partsafePackageSuffixes...)
+}
+
+// ComponentZones returns the package-zone table (copy).
+func ComponentZones() map[string]string {
+	return maps.Clone(componentZones)
+}
+
+// ComponentEdges returns the declared architecture manifest (copy).
+func ComponentEdges() []ComponentEdge {
+	return append([]ComponentEdge(nil), componentEdges...)
+}
+
+// ComponentVia reports whether via is a known channel class.
+func ComponentVia(via string) bool { return componentVias[via] }

@@ -1,0 +1,78 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"triplea/internal/lint/analysistest"
+	"triplea/internal/lint/analyzers"
+)
+
+// TestPartsafe pins the analyzer against a self-contained fixture
+// module (testdata/src/pt): registered edges pass silently, undeclared
+// edges are diagnosed at the holding site (fields, embedded fields,
+// captures, stores, composite literals, interface dispatch), stateless
+// value types are exempt, //simlint:edge audits a site, and an upward
+// zone reference gets its distinct diagnostic.
+func TestPartsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Partsafe,
+		"pt/internal/simx",
+		"pt/internal/pcie",
+		"pt/internal/array",
+		"pt/internal/cluster",
+	)
+}
+
+// TestComponentManifestConsistent keeps the architecture manifest
+// well-formed independently of any source it is checked against: no
+// duplicate rows, no self-edges, every endpoint in the component
+// scope, every via a known channel class, and no row that would bless
+// an upward zone reference (those must be restructured, not declared).
+func TestComponentManifestConsistent(t *testing.T) {
+	scope := make(map[string]bool)
+	for _, s := range analyzers.ComponentScope() {
+		scope[s] = true
+	}
+	zones := analyzers.ComponentZones()
+	type key struct{ from, to, typ string }
+	seen := make(map[key]bool)
+	for _, e := range analyzers.ComponentEdges() {
+		k := key{e.From, e.To, e.Type}
+		if seen[k] {
+			t.Errorf("duplicate manifest row %s -> %s.%s", e.From, e.To, e.Type)
+		}
+		seen[k] = true
+		if e.From == e.To {
+			t.Errorf("self-edge %s -> %s.%s: in-package references are not edges", e.From, e.To, e.Type)
+		}
+		if !scope[e.From] {
+			t.Errorf("manifest row %s -> %s.%s: From outside the component scope", e.From, e.To, e.Type)
+		}
+		if !scope[e.To] {
+			t.Errorf("manifest row %s -> %s.%s: To outside the component scope", e.From, e.To, e.Type)
+		}
+		if !analyzers.ComponentVia(e.Via) {
+			t.Errorf("manifest row %s -> %s.%s: unknown via %q", e.From, e.To, e.Type, e.Via)
+		}
+		if e.Note == "" {
+			t.Errorf("manifest row %s -> %s.%s: missing note", e.From, e.To, e.Type)
+		}
+		if !analyzers.ZoneAllowed(zones[e.From], zones[e.To]) {
+			t.Errorf("manifest row %s -> %s.%s points up the zone order (%s -> %s): restructure instead of declaring",
+				e.From, e.To, e.Type, zones[e.From], zones[e.To])
+		}
+	}
+}
+
+// TestComponentZonesCoverScope: every scope package has a zone and
+// every zoned package is in scope.
+func TestComponentZonesCoverScope(t *testing.T) {
+	zones := analyzers.ComponentZones()
+	for _, s := range analyzers.ComponentScope() {
+		if zones[s] == "" {
+			t.Errorf("scope package %s has no zone", s)
+		}
+	}
+	if got, want := len(zones), len(analyzers.ComponentScope()); got != want {
+		t.Errorf("zone table has %d entries, scope has %d", got, want)
+	}
+}

@@ -1,0 +1,43 @@
+package array
+
+import (
+	"pt/internal/pcie"
+	"pt/internal/simx"
+)
+
+// Array holds registered edges silently and unregistered ones loudly.
+type Array struct {
+	eng  *simx.Engine // registered: array -> simx.Engine, via engine
+	up   []*pcie.Link // registered: slice-of-component still resolves to pcie.Link
+	dbg  *pcie.Debug  // want `undeclared component edge array -> pcie\.Debug`
+	home pcie.Addr    // stateless value type: exempt
+	n    int
+}
+
+// Tap embeds an unregistered component: an embedded field is still a
+// held reference.
+type Tap struct {
+	*pcie.Debug // want `undeclared component edge array -> pcie\.Debug`
+}
+
+// An audited escape: the marker on the line above silences the site.
+//
+//simlint:edge scratch probe for bring-up, not an architectural edge
+var probe *pcie.Debug
+
+func Wire(a *Array, d *pcie.Debug) {
+	a.eng.Schedule(func() {
+		d.Ping() // want `undeclared component edge array -> pcie\.Debug`
+	})
+	d.Log = nil           // want `undeclared component edge array -> pcie\.Debug`
+	_ = pcie.Addr{Bus: 1} // stateless composite literal: exempt
+}
+
+func Probe() *pcie.Debug {
+	return &pcie.Debug{} // want `undeclared component edge array -> pcie\.Debug`
+}
+
+func Deliver(r pcie.Receiver, l *pcie.Link) {
+	r.Deliver(l) // want `undeclared component edge array -> pcie\.Receiver`
+	l.Push(nil)  // concrete method on a transient param: not a hold
+}

@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"pt/internal/array"
+	"pt/internal/simx"
+)
+
+// Endpoint reaching up into the global coordination layer is a zone
+// violation: it cannot be registered, only restructured or audited.
+type Endpoint struct {
+	eng   *simx.Engine // registered: cluster -> simx.Engine, via engine
+	owner *array.Array // want `reaches up to array\.Array`
+}

@@ -1,0 +1,26 @@
+package pcie
+
+import "pt/internal/simx"
+
+// Link is a registered component edge target (array -> pcie.Link,
+// cluster -> pcie.Link are in the manifest).
+type Link struct {
+	eng *simx.Engine // registered: pcie -> simx.Engine, via engine
+	Buf []byte
+}
+
+func (l *Link) Push(b []byte) { l.Buf = append(l.Buf, b...) }
+
+// Debug is stateful but appears in no manifest row: holding it from
+// another component package must be diagnosed.
+type Debug struct{ Log []string }
+
+func (d *Debug) Ping() {}
+
+// Addr is a pure value type: copying it cannot couple two components,
+// so it is exempt from edge accounting.
+type Addr struct{ Bus, Dev int }
+
+// Receiver is the fabric's dispatch surface. Only cluster ->
+// pcie.Receiver is registered.
+type Receiver interface{ Deliver(l *Link) }

@@ -1,0 +1,13 @@
+// Package simx is a miniature stand-in for the real event engine:
+// partsafe matches registration tables by path suffix, so
+// pt/internal/simx registers alongside triplea/internal/simx.
+package simx
+
+// Engine is stateful (it reaches mutable memory), so holding it forms
+// a component edge.
+type Engine struct{ q []func() }
+
+func (e *Engine) Schedule(f func()) { e.q = append(e.q, f) }
+
+// Resource is stateful.
+type Resource struct{ waiters []int }

@@ -397,12 +397,21 @@ func (g *Graph) callEdges(node *Node, call *ast.CallExpr, litBind map[*types.Var
 	node.Out = append(node.Out, Edge{Kind: Dynamic, Site: call})
 }
 
-// refEdge emits a Ref edge for a selector used as a value when it is a
-// method value (x.M with a method M): the receiver is bound now and the
-// method runs later.
+// refEdge emits a Ref edge for a selector used as a value: a method
+// value (x.M with a method M — the receiver is bound now and the
+// method runs later) or a package-qualified function (pkg.Fn handed to
+// a sink; not a selection in go/types, so it needs its own resolution
+// — without it, a cross-package function smuggled out as a value
+// would silently vanish from every reachability walk).
 func (g *Graph) refEdge(node *Node, sel *ast.SelectorExpr) {
 	s, ok := g.info.Selections[sel]
-	if !ok || s.Kind() != types.MethodVal {
+	if !ok {
+		if fn, isFn := g.info.Uses[sel.Sel].(*types.Func); isFn {
+			node.Out = append(node.Out, Edge{Kind: Ref, Site: sel, Callee: fn, Node: g.Funcs[fn]})
+		}
+		return
+	}
+	if s.Kind() != types.MethodVal {
 		return
 	}
 	fn, ok := s.Obj().(*types.Func)

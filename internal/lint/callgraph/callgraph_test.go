@@ -478,3 +478,29 @@ func F()       { _ = func() {} }
 		t.Errorf("literal node name/body wrong: %q", lit.Name())
 	}
 }
+
+func TestQualifiedFunctionRef(t *testing.T) {
+	// A package-qualified function used as a value (strings.TrimSpace
+	// handed out as a func) is not a Selection in go/types, so it needs
+	// its own resolution in refEdge: without it the function would
+	// vanish from every reachability walk even though it runs later.
+	g, _ := build(t, `package demo
+
+import "strings"
+
+func Use() func(string) string { return strings.TrimSpace }
+`)
+	wantEdges(t, node(t, g, "Use"), "ref:TrimSpace")
+}
+
+func TestQualifiedFunctionRefAsArgument(t *testing.T) {
+	g, _ := build(t, `package demo
+
+import "strings"
+
+func sink(f func(string) string) {}
+
+func Setup() { sink(strings.ToUpper) }
+`)
+	wantEdges(t, node(t, g, "Setup"), "static:sink", "ref:ToUpper")
+}

@@ -1,0 +1,440 @@
+package callgraph
+
+// refs.go extracts the cross-package component-reference graph that
+// the partsafe analyzer certifies and cmd/simgraph renders: every way
+// one package can RETAIN a path to another package's mutable state.
+//
+// The extraction is hold-based, not flow-based. To interact with a
+// foreign component at all, code must hold a reference to it somewhere
+// durable — a struct field, a package-level var, or a closure capture
+// (parameters and locals are transient views of a reference someone
+// else already holds, so recording them would only duplicate the edge
+// at lower signal). Two further kinds attribute *wiring*: a composite
+// literal of a foreign component type and a store through a foreign
+// component's field are the construction sites that create or rewire
+// an edge, and a call through a foreign interface method is the
+// dispatch surface an edge is exercised through.
+//
+// Only STATEFUL foreign types produce references: a type whose value
+// representation can reach mutable memory (pointer, slice, map, chan,
+// func, interface, unsafe.Pointer — anywhere, recursively). Pure value
+// types (units quantities, topo addresses, timing structs, enums) are
+// free to share: copying them cannot couple two components.
+//
+// Named types split three ways during the structural walk:
+//
+//   - a foreign component type (per the caller's filter): the edge
+//     endpoint — record it, do not look inside (its internals are its
+//     own package's business);
+//   - a named type of the package under analysis: skip — the type's
+//     own declaration is scanned once, so every use site would repeat
+//     the same edges;
+//   - any other foreign type (stdlib containers, out-of-scope
+//     wrappers): transparent — descend into its underlying type, since
+//     a workload wrapper or container may carry component references
+//     inside.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RefKind classifies how a package holds or wires a foreign component
+// reference.
+type RefKind uint8
+
+const (
+	// RefField: a struct field (or the underlying of a named type
+	// declaration) carries the reference. The durable wiring of the
+	// simulator lives here.
+	RefField RefKind = iota
+	// RefGlobal: a package-level variable carries the reference.
+	RefGlobal
+	// RefCapture: a function literal captures a local variable that
+	// carries the reference.
+	RefCapture
+	// RefStore: a wiring site — a composite literal of a foreign
+	// component type, or an assignment through a foreign component's
+	// field.
+	RefStore
+	// RefDispatch: a call through a method of a foreign interface
+	// type — the dispatch surface of an edge.
+	RefDispatch
+)
+
+func (k RefKind) String() string {
+	switch k {
+	case RefField:
+		return "field"
+	case RefGlobal:
+		return "global"
+	case RefCapture:
+		return "capture"
+	case RefStore:
+		return "store"
+	case RefDispatch:
+		return "dispatch"
+	}
+	return "unknown"
+}
+
+// ComponentRef records one way the analyzed package can reach a
+// component type of another package.
+type ComponentRef struct {
+	Kind RefKind
+	// Pos is the site to attribute the edge to: the field declaration,
+	// var declaration, capturing identifier, composite literal, store,
+	// or call.
+	Pos token.Pos
+	// To is the foreign component type reached.
+	To *types.TypeName
+	// Site is a human-readable attribution ("field Array.rc",
+	// "closure captures ep", ...) for diagnostics and artifacts.
+	Site string
+}
+
+// CollectRefs scans one type-checked package and returns every
+// component reference it holds or wires, in deterministic order
+// (position, then type). Files for which skip returns true (test
+// files, typically) contribute nothing; skip may be nil. component
+// decides which foreign named types are edge endpoints.
+func CollectRefs(pkg *types.Package, info *types.Info, files []*ast.File,
+	skip func(*ast.File) bool, component func(*types.TypeName) bool) []ComponentRef {
+	c := &refCollector{
+		pkg:       pkg,
+		info:      info,
+		component: component,
+		seen:      make(map[refKey]bool),
+	}
+	for _, f := range files {
+		if skip != nil && skip(f) {
+			continue
+		}
+		c.scanDecls(f)
+		c.scanBodies(f)
+	}
+	sort.Slice(c.refs, func(i, j int) bool {
+		a, b := c.refs[i], c.refs[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.To.Name() != b.To.Name() {
+			return a.To.Name() < b.To.Name()
+		}
+		return a.Kind < b.Kind
+	})
+	return c.refs
+}
+
+type refKey struct {
+	kind RefKind
+	pos  token.Pos
+	to   *types.TypeName
+}
+
+type refCollector struct {
+	pkg       *types.Package
+	info      *types.Info
+	component func(*types.TypeName) bool
+	refs      []ComponentRef
+	seen      map[refKey]bool
+}
+
+func (c *refCollector) add(kind RefKind, pos token.Pos, to *types.TypeName, site string) {
+	k := refKey{kind, pos, to}
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	c.refs = append(c.refs, ComponentRef{Kind: kind, Pos: pos, To: to, Site: site})
+}
+
+// ---- declarations: struct fields, named-type underlyings, globals ----
+
+func (c *refCollector) scanDecls(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				c.scanTypeSpec(s)
+			case *ast.ValueSpec:
+				if gd.Tok != token.VAR {
+					continue
+				}
+				for _, name := range s.Names {
+					v, ok := c.info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					c.walkType(v.Type(), func(tn *types.TypeName) {
+						c.add(RefGlobal, name.Pos(), tn,
+							"package-level var "+name.Name)
+					})
+				}
+			}
+		}
+	}
+}
+
+// scanTypeSpec walks one named type declaration. Struct types are
+// scanned field by field so the diagnostic lands on the offending
+// field (embedded fields included — an embedded component is still a
+// held reference); any other underlying (slice-of-components, map,
+// func type) is walked whole.
+func (c *refCollector) scanTypeSpec(s *ast.TypeSpec) {
+	if st, ok := s.Type.(*ast.StructType); ok {
+		for _, field := range st.Fields.List {
+			t := c.info.TypeOf(field.Type)
+			names := field.Names
+			if len(names) == 0 {
+				// Embedded field: attribute to the type expression.
+				c.walkType(t, func(tn *types.TypeName) {
+					c.add(RefField, field.Type.Pos(), tn,
+						fmt.Sprintf("embedded field %s.%s", s.Name.Name, tn.Name()))
+				})
+				continue
+			}
+			for _, name := range names {
+				c.walkType(t, func(tn *types.TypeName) {
+					c.add(RefField, name.Pos(), tn,
+						fmt.Sprintf("field %s.%s", s.Name.Name, name.Name))
+				})
+			}
+		}
+		return
+	}
+	t := c.info.TypeOf(s.Type)
+	c.walkType(t, func(tn *types.TypeName) {
+		c.add(RefField, s.Name.Pos(), tn, "type "+s.Name.Name)
+	})
+}
+
+// ---- bodies: captures, stores, dispatch ----
+
+func (c *refCollector) scanBodies(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.scanCaptures(n)
+		case *ast.CompositeLit:
+			c.scanCompositeLit(n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.scanStore(lhs)
+			}
+		case *ast.CallExpr:
+			c.scanDispatch(n)
+		}
+		return true
+	})
+}
+
+// scanCaptures records foreign component references smuggled into a
+// closure: any enclosing-function local (parameters and receivers
+// included) whose type carries one. Package-level vars are not
+// captures — the RefGlobal scan owns them at their declaration.
+func (c *refCollector) scanCaptures(lit *ast.FuncLit) {
+	seenVar := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seenVar[v] {
+			return true
+		}
+		if v.Pkg() != c.pkg || v.Parent() == nil || v.Parent() == c.pkg.Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		seenVar[v] = true
+		c.walkType(v.Type(), func(tn *types.TypeName) {
+			c.add(RefCapture, id.Pos(), tn, "closure captures "+v.Name())
+		})
+		return true
+	})
+}
+
+// scanCompositeLit records the construction of a foreign component:
+// building Q.S{...} from outside Q wires a new instance of Q's state.
+func (c *refCollector) scanCompositeLit(cl *ast.CompositeLit) {
+	tn, ok := c.foreignComponent(c.info.TypeOf(cl))
+	if !ok {
+		return
+	}
+	c.add(RefStore, cl.Pos(), tn, "composite literal of "+tn.Name())
+}
+
+// scanStore records a write through a foreign component's field: the
+// assignment rewires state the component owns.
+func (c *refCollector) scanStore(lhs ast.Expr) {
+	sel, ok := unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := c.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	tn, ok := c.foreignComponent(s.Recv())
+	if !ok {
+		return
+	}
+	c.add(RefStore, lhs.Pos(), tn,
+		fmt.Sprintf("store to %s.%s", tn.Name(), s.Obj().Name()))
+}
+
+// scanDispatch records a call through a foreign interface's method:
+// the interface is the declared dispatch surface of an edge.
+func (c *refCollector) scanDispatch(call *ast.CallExpr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := c.info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || !isInterfaceRecv(fn) {
+		return
+	}
+	tn, ok := c.foreignComponent(s.Recv())
+	if !ok {
+		return
+	}
+	c.add(RefDispatch, call.Pos(), tn,
+		fmt.Sprintf("dispatch %s.%s", tn.Name(), fn.Name()))
+}
+
+// foreignComponent resolves t (through pointers and aliases) to a
+// stateful foreign component type, if that is what it is.
+func (c *refCollector) foreignComponent(t types.Type) (*types.TypeName, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	tn := n.Obj()
+	if tn == nil || tn.Pkg() == nil || tn.Pkg() == c.pkg {
+		return nil, false
+	}
+	if c.component == nil || !c.component(tn) || !Stateful(n) {
+		return nil, false
+	}
+	return tn, true
+}
+
+// ---- the structural type walk ----
+
+// walkType calls add for every stateful foreign component type
+// reachable from t in reference-carrying form: directly, under
+// pointers, as slice/array/map/chan elements, through function
+// signatures, inside anonymous structs and interfaces, and through the
+// underlyings of transparent (non-component) foreign named types.
+func (c *refCollector) walkType(t types.Type, add func(*types.TypeName)) {
+	c.walk(t, add, make(map[types.Type]bool))
+}
+
+func (c *refCollector) walk(t types.Type, add func(*types.TypeName), seen map[types.Type]bool) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	switch u := t.(type) {
+	case *types.Named:
+		tn := u.Obj()
+		if tn == nil || tn.Pkg() == nil {
+			return // error type and friends
+		}
+		if tn.Pkg() == c.pkg {
+			return // the local declaration scan owns in-package types
+		}
+		if c.component != nil && c.component(tn) {
+			if Stateful(u) {
+				add(tn)
+			}
+			return
+		}
+		if Stateful(u) {
+			c.walk(u.Underlying(), add, seen)
+		}
+	case *types.Pointer:
+		c.walk(u.Elem(), add, seen)
+	case *types.Slice:
+		c.walk(u.Elem(), add, seen)
+	case *types.Array:
+		c.walk(u.Elem(), add, seen)
+	case *types.Map:
+		c.walk(u.Key(), add, seen)
+		c.walk(u.Elem(), add, seen)
+	case *types.Chan:
+		c.walk(u.Elem(), add, seen)
+	case *types.Signature:
+		c.walk(u.Params(), add, seen)
+		c.walk(u.Results(), add, seen)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			c.walk(u.At(i).Type(), add, seen)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			c.walk(u.Field(i).Type(), add, seen)
+		}
+	case *types.Interface:
+		for i := 0; i < u.NumMethods(); i++ {
+			c.walk(u.Method(i).Type(), add, seen)
+		}
+	}
+}
+
+// Stateful reports whether a value of type t can reach mutable state:
+// its representation contains a pointer, slice, map, channel, function,
+// interface, or unsafe.Pointer anywhere. Copying a non-stateful value
+// cannot couple two components, so only stateful types form edges.
+func Stateful(t types.Type) bool {
+	return stateful(t, make(map[types.Type]bool))
+}
+
+func stateful(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := types.Unalias(t).(type) {
+	case *types.Named:
+		return stateful(u.Underlying(), seen)
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if stateful(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return stateful(u.Elem(), seen)
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,283 @@
+package callgraph
+
+// Contracts of the component-reference extraction (refs.go), pinned:
+// partsafe's soundness rests on "every durable hold of a foreign
+// component is reported, and only stateful types form edges", so each
+// hold kind, each exemption, and the deterministic ordering get tests.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildRefs type-checks a miniature module in memory — a fake
+// component package "example.com/internal/pcie", a transparent
+// out-of-scope wrapper package "example.com/wrap", and the package
+// under analysis "example.com/internal/array" — and returns array's
+// collected refs. The component filter matches anything declared under
+// an /internal/ path, mirroring partsafe's suffix scope.
+func buildRefs(t *testing.T, arraySrc string) []ComponentRef {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := map[string]*types.Package{}
+	load := func(path, src string) (*types.Package, *types.Info, []*ast.File) {
+		f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: refImporter{pkgs}}
+		pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		pkgs[path] = pkg
+		return pkg, info, []*ast.File{f}
+	}
+
+	load("example.com/internal/pcie", `package pcie
+
+// Link is a stateful component: it reaches mutable memory.
+type Link struct{ buf []byte }
+
+func (l *Link) Send(b []byte) {}
+
+// Addr is a pure value type: copying it couples nothing.
+type Addr struct{ Bus, Dev int }
+
+// Receiver is the dispatch surface components implement.
+type Receiver interface{ Deliver(p *Link) }
+`)
+	load("example.com/wrap", `package wrap
+
+import "example.com/internal/pcie"
+
+// Carrier is out of component scope but carries a component inside:
+// the walk must see through it.
+type Carrier struct{ L *pcie.Link }
+
+// Plain carries nothing stateful.
+type Plain struct{ N int }
+`)
+	pkg, info, files := load("example.com/internal/array", arraySrc)
+	component := func(tn *types.TypeName) bool {
+		return tn.Pkg() != nil && strings.Contains(tn.Pkg().Path(), "/internal/")
+	}
+	return CollectRefs(pkg, info, files, nil, component)
+}
+
+type refImporter struct{ pkgs map[string]*types.Package }
+
+func (m refImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return importer.Default().Import(path)
+}
+
+// sites renders refs as "site -> Type" strings; the Site text already
+// names the kind ("field ...", "closure captures ...", ...), and the
+// rendering cross-checks that Kind and Site stay in sync.
+func sites(refs []ComponentRef) []string {
+	kindWords := map[RefKind]string{
+		RefField:    " field embedded type ",
+		RefGlobal:   " package-level ",
+		RefCapture:  " closure ",
+		RefStore:    " composite store ",
+		RefDispatch: " dispatch ",
+	}
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		first := strings.Fields(r.Site)[0]
+		if !strings.Contains(kindWords[r.Kind], " "+first+" ") {
+			out[i] = fmt.Sprintf("MISMATCH %s/%s -> %s", r.Kind, r.Site, r.To.Name())
+			continue
+		}
+		out[i] = fmt.Sprintf("%s -> %s", r.Site, r.To.Name())
+	}
+	return out
+}
+
+func wantRefs(t *testing.T, refs []ComponentRef, want ...string) {
+	t.Helper()
+	got := sites(refs)
+	if len(want) == 0 {
+		want = []string{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("refs:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRefsStructFields(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+type Array struct {
+	up   *pcie.Link
+	eps  []*pcie.Link
+	byID map[int]*pcie.Link
+	ch   chan *pcie.Link
+	home pcie.Addr // stateless: exempt
+	n    int
+}
+`)
+	wantRefs(t, refs,
+		"field Array.up -> Link",
+		"field Array.eps -> Link",
+		"field Array.byID -> Link",
+		"field Array.ch -> Link",
+	)
+}
+
+func TestRefsEmbeddedField(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+type Array struct {
+	*pcie.Link
+}
+`)
+	wantRefs(t, refs, "embedded field Array.Link -> Link")
+}
+
+func TestRefsTransparentWrapper(t *testing.T) {
+	// A component smuggled inside an out-of-scope wrapper type must
+	// still be reported; a wrapper with nothing stateful must not.
+	refs := buildRefs(t, `package array
+
+import "example.com/wrap"
+
+type Array struct {
+	c wrap.Carrier
+	p wrap.Plain
+}
+`)
+	wantRefs(t, refs, "field Array.c -> Link")
+}
+
+func TestRefsNonStructNamedAndGlobal(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+type Ring []*pcie.Link
+
+var spare *pcie.Link
+`)
+	wantRefs(t, refs,
+		"type Ring -> Link",
+		"package-level var spare -> Link",
+	)
+}
+
+func TestRefsClosureCapture(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+var global *pcie.Link
+
+func sched(fn func()) {}
+
+func Go(l *pcie.Link, n int) {
+	sched(func() {
+		l.Send(nil)       // capture of an enclosing local: reported
+		_ = n             // stateless capture: exempt
+		global.Send(nil)  // package-level var: owned by the global scan
+		inner := &pcie.Link{}
+		inner.Send(nil)   // declared inside the literal: not a capture
+	})
+}
+`)
+	wantRefs(t, refs,
+		"package-level var global -> Link",
+		"closure captures l -> Link",
+		"composite literal of Link -> Link",
+	)
+}
+
+func TestRefsStoreAndCompositeLit(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+func Wire(l *pcie.Link) {
+	_ = pcie.Link{}
+}
+
+type local struct{ n int }
+
+func Local() {
+	v := local{n: 1} // same-package literal: no edge
+	_ = v
+}
+`)
+	wantRefs(t, refs, "composite literal of Link -> Link")
+}
+
+func TestRefsDispatch(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+func Deliver(r pcie.Receiver, l *pcie.Link) {
+	r.Deliver(l)  // interface dispatch: reported
+	l.Send(nil)   // concrete method call on a transient param: not a hold
+}
+`)
+	wantRefs(t, refs, "dispatch Receiver.Deliver -> Receiver")
+}
+
+func TestRefsDeterministicOrder(t *testing.T) {
+	src := `package array
+
+import "example.com/internal/pcie"
+
+type B struct{ l *pcie.Link }
+type A struct{ l *pcie.Link }
+
+var g *pcie.Link
+`
+	first := sites(buildRefs(t, src))
+	for i := 0; i < 3; i++ {
+		if got := sites(buildRefs(t, src)); !reflect.DeepEqual(got, first) {
+			t.Fatalf("order varied between runs:\n got %q\nwant %q", got, first)
+		}
+	}
+}
+
+func TestStateful(t *testing.T) {
+	refs := buildRefs(t, `package array
+
+import "example.com/internal/pcie"
+
+type timing struct {
+	name  string
+	ns    [4]int64
+	where pcie.Addr
+}
+
+type holder struct {
+	t timing      // stateless all the way down (strings included)
+	p *timing     // pointer: stateful, but reaches no component
+	l [2]*pcie.Link // array of pointers: stateful, reaches Link
+}
+`)
+	wantRefs(t, refs, "field holder.l -> Link")
+}

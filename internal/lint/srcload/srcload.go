@@ -1,0 +1,208 @@
+// Package srcload parses and type-checks this repository's own
+// packages from source, using only the standard library. It exists for
+// whole-repo tools that need type information outside a `go vet` run —
+// cmd/simgraph renders the certified component-communication graph
+// from it — where the per-package analysis framework
+// (internal/lint/analysis) cannot help because no driver is feeding it
+// packages.
+//
+// Resolution is deliberately minimal, matching what the repository
+// actually is: module-internal import paths load from the module tree,
+// everything else is delegated to the standard library's source
+// importer (the toolchain ships no pre-compiled export data, so the
+// gc importer would come up empty). Test files are always excluded;
+// build-constrained files (//go:build) are evaluated against the
+// current GOOS/GOARCH plus any extra tags supplied by the caller, so
+// e.g. the simcheck on/off file pairs resolve the same way a default
+// `go build` resolves them.
+package srcload
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("triplea/internal/array")
+	Dir   string // absolute source directory
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File // non-test, build-included files, name-sorted
+}
+
+// Loader loads packages of one module from source.
+type Loader struct {
+	moduleRoot string
+	modulePath string
+	tags       map[string]bool
+	fset       *token.FileSet
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// New returns a loader for the module rooted at moduleRoot with import
+// path modulePath. tags lists extra build tags to enable (the current
+// GOOS and GOARCH are always on).
+func New(moduleRoot, modulePath string, tags ...string) *Loader {
+	tagSet := map[string]bool{runtime.GOOS: true, runtime.GOARCH: true}
+	for _, t := range tags {
+		tagSet[t] = true
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		tags:       tagSet,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot returns the absolute module root directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath reads the module path from the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("srcload: no module line in %s/go.mod", root)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Load parses and type-checks the package at the given module-internal
+// import path (and, recursively, its module-internal dependencies).
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("srcload: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel, ok := strings.CutPrefix(path, l.modulePath+"/")
+	if !ok {
+		return nil, fmt.Errorf("srcload: %q is not under module %q", path, l.modulePath)
+	}
+	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("srcload: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("srcload: %s: no buildable Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if strings.HasPrefix(p, l.modulePath+"/") || p == l.modulePath {
+				loaded, err := l.Load(p)
+				if err != nil {
+					return nil, err
+				}
+				return loaded.Pkg, nil
+			}
+			return l.std.Import(p)
+		}),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("srcload: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Pkg: pkg, Info: info, Files: files}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory in
+// deterministic (name-sorted) order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !l.buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any)
+// against the loader's tag set. Only the constraint lines above the
+// package clause count, per the build-system rules.
+func (l *Loader) buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true // malformed constraint: let the type-checker complain
+		}
+		return expr.Eval(func(tag string) bool { return l.tags[tag] })
+	}
+	return true
+}

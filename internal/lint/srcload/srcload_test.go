@@ -1,0 +1,100 @@
+package srcload
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestModulePath(t *testing.T) {
+	got, err := ModulePath(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "triplea" {
+		t.Fatalf("module path = %q, want triplea", got)
+	}
+}
+
+func TestLoadTypeChecksWithDependencies(t *testing.T) {
+	l := New(moduleRoot(t), "triplea")
+	// internal/cluster pulls in fimm, nand, pcie, simx, topo, units —
+	// a representative slice of the module-internal import DAG plus
+	// stdlib imports through the source importer.
+	p, err := l.Load("triplea/internal/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pkg.Name() != "cluster" {
+		t.Fatalf("package name = %q, want cluster", p.Pkg.Name())
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	for _, f := range p.Files {
+		name := l.Fset().Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded into the build", name)
+		}
+	}
+	// Loading again returns the cached package, same pointer.
+	again, err := l.Load("triplea/internal/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != p {
+		t.Error("second Load did not return the cached package")
+	}
+}
+
+// TestBuildTagSelection: the simcheck on/off file pair in
+// internal/simx must resolve the same way a `go build` with the same
+// tags resolves it — exactly one of the two variants per load.
+func TestBuildTagSelection(t *testing.T) {
+	has := func(l *Loader, pkgPath, base string) bool {
+		p, err := l.Load(pkgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Files {
+			if filepath.Base(l.Fset().Position(f.Pos()).Filename) == base {
+				return true
+			}
+		}
+		return false
+	}
+	root := moduleRoot(t)
+
+	off := New(root, "triplea")
+	if has(off, "triplea/internal/simx", "simcheck_on.go") {
+		t.Error("default build included simcheck_on.go")
+	}
+	if !has(off, "triplea/internal/simx", "simcheck_off.go") {
+		t.Error("default build missed simcheck_off.go")
+	}
+
+	on := New(root, "triplea", "simcheck")
+	if !has(on, "triplea/internal/simx", "simcheck_on.go") {
+		t.Error("simcheck build missed simcheck_on.go")
+	}
+	if has(on, "triplea/internal/simx", "simcheck_off.go") {
+		t.Error("simcheck build included simcheck_off.go")
+	}
+}
+
+func TestLoadRejectsForeignPath(t *testing.T) {
+	l := New(moduleRoot(t), "triplea")
+	if _, err := l.Load("example.com/not/ours"); err == nil {
+		t.Fatal("loading a non-module path should fail")
+	}
+}
