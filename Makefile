@@ -4,7 +4,7 @@
 GO ?= go
 SIMLINT := bin/simlint
 
-.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke metrics-smoke graph graph-check
+.PHONY: build test race simcheck lint lint-fix-list lint-hotzero-list vet fmt-check check clean bench-json bench-compare fault-smoke sweep-smoke metrics-smoke decisions-smoke graph graph-check
 
 build:
 	$(GO) build ./...
@@ -126,6 +126,28 @@ metrics-smoke:
 		-v ./internal/metrics/ ./internal/experiments/
 	$(GO) run ./cmd/triplea-bench -experiment table1 -requests 4000 \
 		-switches 2 -clusters 4 -metrics streaming
+
+# Decision flight-recorder smoke (see docs/decision-traces.md): the
+# Table 2 baseline benchmark with recording off, gated against the
+# committed baselines on BOTH allocs/op (vs BENCH_PR3.json — exact, the
+# hot path must stay allocation-free) and ns/op (vs BENCH_PR10.json,
+# ±10% — the zero-overhead-off contract), then the regret study table
+# written to REGRET_TABLE, the seed-42 decision-trace golden, the
+# pure-observation pin and the recorder unit tests.
+DECISIONS_JSON ?= bench-decisions.json
+REGRET_TABLE ?= regret-table.txt
+decisions-smoke:
+	$(GO) test . -run '^$$' -bench 'BenchmarkTable02Baseline' -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -o $(DECISIONS_JSON)
+	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json -against $(DECISIONS_JSON) \
+		-names Table02Baseline
+	$(GO) run ./cmd/benchjson -compare BENCH_PR10.json -against $(DECISIONS_JSON) \
+		-metric ns/op -names Table02Baseline
+	$(GO) run ./cmd/triplea-bench -experiment regret -requests 4000 \
+		-switches 2 -clusters 8 | tee $(REGRET_TABLE)
+	$(GO) test -run 'TestDecisionTraceGolden|TestRecordingIsPureObservation|TestRegretStudySmoke' \
+		-v ./internal/experiments/
+	$(GO) test ./internal/decision/
 
 check: build fmt-check vet lint graph-check test race simcheck
 

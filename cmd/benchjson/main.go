@@ -5,14 +5,17 @@
 // Usage:
 //
 //	go test . -bench . -benchtime 1x -benchmem | benchjson -o BENCH.json
-//	benchjson -compare BASELINE.json -against NEW.json [-tolerance 0.10]
+//	benchjson -compare BASELINE.json -against NEW.json [-metric UNIT] [-tolerance 0.10] [-names A,B]
 //	benchjson -flat METRIC -names A,B[,C...] -against NEW.json [-tolerance 0.10]
 //
 // The first form parses benchmark result lines from stdin. The second
 // form exits non-zero if any benchmark present in both files grew its
-// allocs/op by more than the tolerance fraction — the CI gate that
-// keeps the pooled hot path allocation-free. The third form exits
-// non-zero unless the named benchmarks agree on METRIC (e.g.
+// -metric (default allocs/op) by more than the tolerance fraction —
+// the CI gate that keeps the pooled hot path allocation-free
+// (allocs/op) and, with -metric ns/op, the latency gate the decision
+// flight recorder's zero-overhead-off contract is held to; -names
+// restricts the comparison to the listed benchmarks. The third form
+// exits non-zero unless the named benchmarks agree on METRIC (e.g.
 // recorder-bytes/op) within the tolerance — the CI gate that keeps the
 // streaming metrics backend's memory flat across run lengths.
 package main
@@ -68,12 +71,13 @@ func main() {
 		against   = flag.String("against", "", "candidate JSON file for -compare / -flat")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth (-compare) or spread (-flat)")
 		flat      = flag.String("flat", "", "metric unit (e.g. recorder-bytes/op): assert -names agree within -tolerance")
-		names     = flag.String("names", "", "comma-separated benchmark names for -flat")
+		names     = flag.String("names", "", "comma-separated benchmark names for -flat, or to restrict -compare")
+		metric    = flag.String("metric", "allocs/op", "metric unit compared by -compare")
 	)
 	flag.Parse()
 
 	if *compare != "" {
-		if err := runCompare(*compare, *against, *tolerance); err != nil {
+		if err := runCompare(*compare, *against, *metric, *names, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -179,9 +183,11 @@ func load(path string) (map[string]Result, error) {
 }
 
 // runCompare fails when a benchmark present in both documents grew its
-// allocs/op beyond the tolerance. Benchmarks only in one document are
-// reported but do not fail the gate (experiments come and go).
-func runCompare(basePath, newPath string, tolerance float64) error {
+// metric beyond the tolerance. Benchmarks only in one document are
+// reported but do not fail the gate (experiments come and go). A
+// non-empty nameList restricts the gate to those benchmarks, and then
+// a name absent from either document is an error, not a skip.
+func runCompare(basePath, newPath, metric, nameList string, tolerance float64) error {
 	if newPath == "" {
 		return fmt.Errorf("-compare requires -against")
 	}
@@ -193,34 +199,53 @@ func runCompare(basePath, newPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	names := make([]string, 0, len(base))
-	for name := range base {
-		names = append(names, name)
+	var names []string
+	only := nameList != ""
+	if only {
+		names = strings.Split(nameList, ",")
+	} else {
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 	}
-	sort.Strings(names)
 	var failed []string
 	for _, name := range names {
-		b := base[name]
+		b, ok := base[name]
+		if !ok {
+			if only {
+				return fmt.Errorf("%s: benchmark %q not present", basePath, name)
+			}
+			continue
+		}
 		c, ok := cand[name]
 		if !ok {
+			if only {
+				return fmt.Errorf("%s: benchmark %q not present", newPath, name)
+			}
 			fmt.Printf("benchjson: %s: absent from %s (skipped)\n", name, newPath)
 			continue
 		}
-		if b.AllocsPerOp <= 0 {
-			continue // baseline has no allocation data for this benchmark
+		bv, ok := b.Metric(metric)
+		if !ok || bv <= 0 {
+			if only {
+				return fmt.Errorf("%s: benchmark %q has no %q metric", basePath, name, metric)
+			}
+			continue // baseline has no data for this benchmark/metric
 		}
-		growth := (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+		cv, _ := c.Metric(metric)
+		growth := (cv - bv) / bv
 		status := "ok"
 		if growth > tolerance {
 			status = "FAIL"
 			failed = append(failed, name)
 		}
-		fmt.Printf("benchjson: %-32s allocs/op %12.0f -> %12.0f (%+.1f%%) %s\n",
-			name, b.AllocsPerOp, c.AllocsPerOp, growth*100, status)
+		fmt.Printf("benchjson: %-32s %s %12.0f -> %12.0f (%+.1f%%) %s\n",
+			name, metric, bv, cv, growth*100, status)
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("allocs/op regression (> %.0f%%) in: %s",
-			tolerance*100, strings.Join(failed, ", "))
+		return fmt.Errorf("%s regression (> %.0f%%) in: %s",
+			metric, tolerance*100, strings.Join(failed, ", "))
 	}
 	return nil
 }

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	triplea-bench [-experiment all|table1|table2|fig1|fig9|...|wear]
+//	triplea-bench [-experiment all|table1|table2|fig1|fig9|...|wear|regret]
 //	              [-requests N] [-seed S] [-switches N] [-clusters N]
 //	              [-parallel N] [-sweep-points N] [-metrics exact|streaming]
+//	              [-decisions FILE]
 //
 // The default reproduces the full 4x16 (16 TB) configuration. Reducing
 // -requests shortens runs proportionally. -parallel widens the sweep
@@ -13,6 +14,10 @@
 // width prints byte-identical tables (see docs/performance.md).
 // -metrics streaming switches every recorder to the bounded-memory
 // backend (see docs/metrics.md) for large -requests scaling runs.
+// -decisions FILE captures the reference decision-trace scenarios with
+// the flight recorder on (see docs/decision-traces.md), writes the
+// TraceSet JSON to FILE and prints the per-family regret summaries
+// instead of running experiments.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"triplea/internal/decision"
 	"triplea/internal/experiments"
 	"triplea/internal/metrics"
 )
@@ -36,8 +42,9 @@ func main() {
 		clusters = flag.Int("clusters", 0, "override clusters per switch (0 = paper default 16)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep-pool width for multi-point experiments (1 = serial; output is identical either way)")
-		points  = flag.Int("sweep-points", 0, "override the Fig12 hot-cluster point count (0 = paper default 6)")
-		backend = flag.String("metrics", "exact", "recorder backend: exact (paper-exact samples) or streaming (bounded memory)")
+		points    = flag.Int("sweep-points", 0, "override the Fig12 hot-cluster point count (0 = paper default 6)")
+		backend   = flag.String("metrics", "exact", "recorder backend: exact (paper-exact samples) or streaming (bounded memory)")
+		decisions = flag.String("decisions", "", "capture the reference decision-trace scenarios and write TraceSet JSON to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +52,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triplea-bench:", err)
 		os.Exit(2)
+	}
+
+	if *decisions != "" {
+		if err := captureDecisions(*decisions, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "triplea-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	s := experiments.NewSuite()
@@ -71,4 +86,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// captureDecisions runs the reference decision-trace scenarios with
+// the flight recorder on, writes the TraceSet JSON to path and prints
+// the per-family regret summary tables.
+func captureDecisions(path string, seed uint64) error {
+	ts, err := experiments.DecisionTraces(seed)
+	if err != nil {
+		return err
+	}
+	b, err := decision.EncodeJSON(*ts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	if err := experiments.RenderDecisionTables(os.Stdout, ts); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %d scenarios)\n", path, len(b), len(ts.Scenarios))
+	return nil
 }

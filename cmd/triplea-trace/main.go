@@ -1,10 +1,12 @@
 // Command triplea-trace generates synthetic workload traces in the
-// text interchange format, or summarises existing trace files.
+// text interchange format, summarises existing trace files, or
+// pretty-prints recorded decision traces.
 //
 // Usage:
 //
 //	triplea-trace -workload fin -out fin.trace          # generate
 //	triplea-trace -inspect fin.trace                    # summarise
+//	triplea-trace -decisions decisions.json             # pretty-print
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 
 	"triplea/internal/array"
+	"triplea/internal/decision"
 	"triplea/internal/trace"
 	"triplea/internal/units"
 	"triplea/internal/workload"
@@ -20,16 +23,27 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "", "Table 1 workload name, or read/write")
-		out      = flag.String("out", "", "output file (default stdout)")
-		inspect  = flag.String("inspect", "", "summarise an existing trace file")
-		requests = flag.Int("requests", 60_000, "requests to generate")
-		seed     = flag.Uint64("seed", 42, "generation seed")
-		hot      = flag.Int("hot", 2, "hot clusters for micro-benchmarks")
+		wl        = flag.String("workload", "", "Table 1 workload name, or read/write")
+		out       = flag.String("out", "", "output file (default stdout)")
+		inspect   = flag.String("inspect", "", "summarise an existing trace file")
+		decisions = flag.String("decisions", "", "pretty-print a decision TraceSet JSON file (triplea-bench -decisions)")
+		requests  = flag.Int("requests", 60_000, "requests to generate")
+		seed      = flag.Uint64("seed", 42, "generation seed")
+		hot       = flag.Int("hot", 2, "hot clusters for micro-benchmarks")
 	)
 	flag.Parse()
 
 	switch {
+	case *decisions != "":
+		b, err := os.ReadFile(*decisions)
+		if err != nil {
+			fatal(err)
+		}
+		ts, err := decision.DecodeTraceSet(b)
+		if err != nil {
+			fatal(err)
+		}
+		printDecisions(ts)
 	case *inspect != "":
 		f, err := os.Open(*inspect)
 		if err != nil {
@@ -82,6 +96,27 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// printDecisions renders a recorded decision TraceSet for human eyes:
+// per scenario, the family totals, then every retained record with its
+// chosen candidate, regret and top-K scored alternatives.
+func printDecisions(ts decision.TraceSet) {
+	fmt.Printf("decision traces: seed=%d scenarios=%d\n", ts.Seed, len(ts.Scenarios))
+	for _, sc := range ts.Scenarios {
+		fmt.Printf("\n== %s: %d decisions ==\n", sc.Name, sc.Trace.Summary.Decisions)
+		for _, f := range sc.Trace.Summary.Families {
+			fmt.Printf("  %-14s count=%-6d meanRegret=%.4f maxRegret=%.4f p95=%.4f\n",
+				f.Family, f.Count, f.RegretMean, f.RegretMax, f.RegretP95)
+		}
+		for _, r := range sc.Trace.Records {
+			fmt.Printf("  #%d t=%d %s cluster=%d chosen=%d score=%.4f regret=%.4f dest=%d cands=%d\n",
+				r.Seq, int64(r.At), r.Family, r.Cluster, r.Chosen, r.Score, r.Regret, r.Dest, r.Candidates)
+			for _, alt := range r.Alternatives {
+				fmt.Printf("      alt id=%d score=%.4f %s\n", alt.ID, alt.Score, alt.Reason)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triplea/internal/cluster"
+	"triplea/internal/decision"
 	"triplea/internal/ftl"
 	"triplea/internal/metrics"
 	"triplea/internal/nand"
@@ -62,8 +63,12 @@ type Array struct {
 
 	rcSlots  *simx.Resource // RC queue entries (admission control)
 	recorder *metrics.Recorder
-	hooks    Hooks
-	cache    *dramCache // relocated host DRAM (Section 6.6)
+	// decisions is the autonomic decision flight recorder; nil unless
+	// Config.Decisions selects the ring backend (decision hooks are
+	// nil-receiver-safe, so the off path is one nil check).
+	decisions *decision.Recorder
+	hooks     Hooks
+	cache     *dramCache // relocated host DRAM (Section 6.6)
 
 	nextReqID   uint64
 	inFlight    int
@@ -112,9 +117,14 @@ func New(cfg Config) (*Array, error) {
 	}
 	eng := simx.NewEngine()
 	recorder := metrics.NewRecorderWith(cfg.Metrics, metrics.DefaultSustainedWindow)
+	var dec *decision.Recorder
+	if cfg.Decisions == decision.Ring {
+		dec = decision.NewRecorder(cfg.Geometry.TotalClusters())
+	}
 	a := &Array{
 		eng:            eng,
 		cfg:            cfg,
+		decisions:      dec,
 		ftl:            ftl.New(cfg.Geometry, ftl.WithLayout(cfg.Layout), ftl.WithGCThreshold(cfg.GCThreshold)),
 		recorder:       recorder,
 		faultCtrs:      newFaultCounters(recorder.Registry()),
@@ -130,6 +140,7 @@ func New(cfg Config) (*Array, error) {
 		cache:          newDRAMCache(units.BytesToPages(cfg.HostDRAMBytes, cfg.Geometry.Nand.PageSizeBytes)),
 		health:         topo.NewHealth(cfg.Geometry),
 	}
+	a.ftl.SetDecisions(dec, eng.Now)
 	a.build()
 	return a, nil
 }
@@ -218,6 +229,11 @@ func (a *Array) FTL() *ftl.FTL { return a.ftl }
 
 // Recorder exposes the metrics recorder.
 func (a *Array) Recorder() *metrics.Recorder { return a.recorder }
+
+// Decisions exposes the decision flight recorder; nil when recording
+// is off (Config.Decisions == decision.Off). The manager and the fault
+// injector pick it up on attach.
+func (a *Array) Decisions() *decision.Recorder { return a.decisions }
 
 // Endpoint returns one cluster endpoint.
 func (a *Array) Endpoint(id topo.ClusterID) *cluster.Endpoint {

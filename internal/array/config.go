@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"triplea/internal/cluster"
+	"triplea/internal/decision"
 	"triplea/internal/fimm"
 	"triplea/internal/ftl"
 	"triplea/internal/metrics"
@@ -28,6 +29,13 @@ type Config struct {
 	// or metrics.Streaming (O(1) metric state for production-scale
 	// runs). See docs/metrics.md.
 	Metrics metrics.Backend
+
+	// Decisions selects the autonomic decision flight-recorder backend:
+	// decision.Off (the zero value — no recorder is built and every
+	// recording hook is one nil check) or decision.Ring (a bounded ring
+	// of decision records plus streaming regret aggregates). See
+	// docs/decision-traces.md.
+	Decisions decision.Backend
 
 	// Endpoint parameters not implied by the geometry.
 	BusPins         units.Lanes

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"triplea/internal/cluster"
+	"triplea/internal/decision"
 	"triplea/internal/fimm"
 	"triplea/internal/metrics"
 	"triplea/internal/nand"
@@ -160,6 +161,19 @@ func (a *Array) restoreLostRead(ref *pageRef) bool {
 		return false
 	}
 	a.faultCtrs.readsRemapped.Inc()
+	if rec := a.decisions; rec != nil {
+		// The restoration had exactly one viable placement (the shadow
+		// clone's new home); record it so remapping activity shows up in
+		// the Restore family's choice distribution.
+		if ppn, ok := a.ftl.Lookup(ref.lpn); ok {
+			g := a.cfg.Geometry
+			c := ppn.ClusterID().Flat(g)
+			f := int64(ppn.FIMMID().Flat(g))
+			rec.Begin(decision.Restore, c, a.eng.Now())
+			rec.Candidate(f, 0, decision.Eligible)
+			rec.Commit(f, 0, c)
+		}
+	}
 	return true
 }
 
@@ -169,7 +183,21 @@ func (a *Array) redirectWrite(lpn int64, target topo.FIMMID) topo.FIMMID {
 	if !a.recoverFaults || a.health.Placeable(target) {
 		return target
 	}
-	if fb, ok := a.ftl.FallbackFIMM(lpn); ok {
+	fb, ok := a.ftl.FallbackFIMM(lpn)
+	if rec := a.decisions; rec != nil {
+		g := a.cfg.Geometry
+		rec.Begin(decision.Restore, target.ClusterID.Flat(g), a.eng.Now())
+		rec.Candidate(int64(target.Flat(g)), 0, decision.ExcludedDegraded)
+		if ok {
+			rec.Candidate(int64(fb.Flat(g)), 1, decision.Eligible)
+			rec.Commit(int64(fb.Flat(g)), 1, fb.ClusterID.Flat(g))
+		} else {
+			// No placeable fallback: the write stays on the faulted
+			// target and will fail downstream.
+			rec.Commit(int64(target.Flat(g)), 0, target.ClusterID.Flat(g))
+		}
+	}
+	if ok {
 		a.faultCtrs.writesRedirected.Inc()
 		return fb
 	}

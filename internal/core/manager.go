@@ -18,6 +18,7 @@ package core
 import (
 	"triplea/internal/array"
 	"triplea/internal/cluster"
+	"triplea/internal/decision"
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/trace"
@@ -124,6 +125,10 @@ type Manager struct {
 	// keeps both hot paths allocation-free. Valid until the next call.
 	laggardScratch []bool
 
+	// dec is the array's decision flight recorder; nil when recording
+	// is off, making every recording hook a single nil check.
+	dec *decision.Recorder
+
 	stats Stats
 }
 
@@ -192,6 +197,7 @@ func Attach(a *array.Array, opt Options) *Manager {
 	if opt.ReshapeBatch <= 0 {
 		m.opt.ReshapeBatch = DefaultOptions().ReshapeBatch
 	}
+	m.dec = a.Decisions()
 	a.SetHooks(m)
 	return m
 }
@@ -249,7 +255,7 @@ func (m *Manager) manageLinkContention(pc array.PageComplete) {
 		return
 	}
 	m.stats.HotDetections++
-	cold, ok := m.coldClusterNear(pc.Cluster)
+	cold, ok := m.coldClusterNear(pc.Cluster, decision.Migration)
 	if !ok {
 		m.stats.ColdMisses++
 		return
@@ -274,7 +280,7 @@ func (m *Manager) manageStorageContention(pc array.PageComplete) {
 	if m.allLaggards(laggards) {
 		// Every FIMM is a laggard: reshaping inside the cluster cannot
 		// help; migrate across clusters like hot-cluster management.
-		if cold, ok := m.coldClusterNear(pc.Cluster); ok {
+		if cold, ok := m.coldClusterNear(pc.Cluster, decision.Migration); ok {
 			dst := topo.FIMMID{ClusterID: cold, FIMM: m.leastStalledFIMM(cold)}
 			m.startMove(pc.LPN, dst, pc.Op == trace.Read)
 		} else {
@@ -287,7 +293,7 @@ func (m *Manager) manageStorageContention(pc array.PageComplete) {
 	// requests' data, Figure 8) — to the least-stalled sibling FIMMs.
 	// The just-served page can shadow-copy; the rest need device reads
 	// unless still buffered.
-	dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards)}
+	dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards, decision.Reshape)}
 	m.stats.Reshapes++
 	m.startMove(pc.LPN, dst, true)
 	m.reshapeBatch(pc, laggards)
@@ -320,7 +326,7 @@ func (m *Manager) reshapeBatch(pc array.PageComplete, laggards []bool) { //simli
 		if m.arr.FTL().ResidentFIMM(lpn) != laggard {
 			continue
 		}
-		dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards)}
+		dst := topo.FIMMID{ClusterID: pc.Cluster, FIMM: m.siblingFIMM(ep, laggards, decision.Reshape)}
 		m.stats.Reshapes++
 		m.startMove(lpn, dst, false /* not in the EP: device read needed */)
 		moved++
@@ -340,14 +346,14 @@ func (m *Manager) WriteTarget(lpn int64, resident topo.FIMMID) topo.FIMMID {
 		return resident
 	}
 	if m.allLaggards(laggards) {
-		if cold, ok := m.coldClusterNear(resident.ClusterID); ok {
+		if cold, ok := m.coldClusterNear(resident.ClusterID, decision.WriteRedirect); ok {
 			m.stats.WriteRedirects++
 			return topo.FIMMID{ClusterID: cold, FIMM: m.leastStalledFIMM(cold)}
 		}
 		return resident
 	}
 	m.stats.WriteRedirects++
-	return topo.FIMMID{ClusterID: resident.ClusterID, FIMM: m.siblingFIMM(ep, laggards)}
+	return topo.FIMMID{ClusterID: resident.ClusterID, FIMM: m.siblingFIMM(ep, laggards, decision.WriteRedirect)}
 }
 
 // detectLaggards reports, per FIMM slot, whether the slot is a laggard
@@ -416,17 +422,43 @@ func (m *Manager) allLaggards(laggards []bool) bool {
 
 // siblingFIMM picks the least-stalled non-laggard FIMM of the cluster,
 // breaking ties toward the least-worn module when wear awareness is on.
-func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool) int {
+//
+// When called with a laggard set (a reshape or write-redirect choice)
+// the decision is recorded with every slot scored at -stalled: laggard
+// and unplaceable slots enter the regret baseline as exclusions. The
+// wear tiebreak only reorders equal scores, so it never adds regret.
+// The laggards == nil form (leastStalledFIMM) is a sub-step of a
+// migration decision already being recorded by coldClusterNear and is
+// deliberately not re-recorded.
+func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool, fam decision.Family) int {
 	stalled := ep.StalledPerFIMM()
 	health := m.arr.Health()
+	rec := m.dec
+	if laggards == nil {
+		rec = nil
+	}
+	if rec != nil {
+		g := m.arr.Config().Geometry
+		rec.Begin(fam, ep.ID().Flat(g), m.arr.Engine().Now())
+	}
 	best, bestN := -1, int(^uint(0)>>1)
 	var bestWear uint64
 	for i, n := range stalled {
 		if laggards != nil && laggards[i] {
+			if rec != nil {
+				rec.Candidate(int64(i), -float64(n), decision.ExcludedLaggard)
+			}
 			continue
 		}
 		if !health.Placeable(topo.FIMMID{ClusterID: ep.ID(), FIMM: i}) {
-			continue // dead or evacuating modules take no new data
+			// Dead or evacuating modules take no new data.
+			if rec != nil {
+				rec.Candidate(int64(i), -float64(n), decision.ExcludedDegraded)
+			}
+			continue
+		}
+		if rec != nil {
+			rec.Candidate(int64(i), -float64(n), decision.Eligible)
 		}
 		if n > bestN {
 			continue
@@ -439,6 +471,14 @@ func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool) int {
 			best, bestN, bestWear = i, n, wear
 		}
 	}
+	if rec != nil {
+		g := m.arr.Config().Geometry
+		if best >= 0 {
+			rec.Commit(int64(best), -float64(bestN), ep.ID().Flat(g))
+		} else {
+			rec.Commit(0, -float64(stalled[0]), ep.ID().Flat(g))
+		}
+	}
 	if best < 0 {
 		return 0
 	}
@@ -447,33 +487,75 @@ func (m *Manager) siblingFIMM(ep *cluster.Endpoint, laggards []bool) int {
 
 // leastStalledFIMM picks the emptiest FIMM of a cluster.
 func (m *Manager) leastStalledFIMM(id topo.ClusterID) int {
-	return m.siblingFIMM(m.arr.Endpoint(id), nil)
+	return m.siblingFIMM(m.arr.Endpoint(id), nil, decision.Migration)
 }
 
 // coldClusterNear applies Equation 2 under the hot cluster's switch:
 // the least-utilised cluster whose shared-bus utilisation over the
 // sampling window is below 1/nFIMM (on average at most one FIMM using
 // the bus). Triple-A never migrates across switches (Section 6.1).
-func (m *Manager) coldClusterNear(hot topo.ClusterID) (topo.ClusterID, bool) {
+//
+// Every sibling cluster is recorded as a decision candidate at score
+// -utilisation: degraded siblings (excluded from the Eq.1/Eq.2
+// candidate set) are scored through utilizationPeek so recording never
+// perturbs the sampling cache the off path maintains.
+func (m *Manager) coldClusterNear(hot topo.ClusterID, fam decision.Family) (topo.ClusterID, bool) {
 	g := m.arr.Config().Geometry
 	threshold := 1 / float64(m.nFIMM)
 	best := topo.ClusterID{}
 	bestU := threshold
 	found := false
+	rec := m.dec
+	if rec != nil {
+		rec.Begin(fam, hot.Flat(g), m.arr.Engine().Now())
+	}
 	for c := 0; c < g.ClustersPerSwitch; c++ {
 		id := topo.ClusterID{Switch: hot.Switch, Cluster: c}
 		if id == hot {
 			continue
 		}
 		if !m.arr.Health().ClusterPlaceable(id) {
-			continue // degraded or unplugged clusters leave the candidate set
+			// Degraded or unplugged clusters leave the candidate set.
+			if rec != nil {
+				rec.Candidate(int64(id.Flat(g)), -m.utilizationPeek(id), decision.ExcludedDegraded)
+			}
+			continue
 		}
 		u := m.utilization(id)
+		if rec != nil {
+			reason := decision.Eligible
+			if u >= threshold {
+				reason = decision.ExcludedWarm
+			}
+			rec.Candidate(int64(id.Flat(g)), -u, reason)
+		}
 		if u < bestU {
 			best, bestU, found = id, u, true
 		}
 	}
+	if rec != nil {
+		if found {
+			rec.Commit(int64(best.Flat(g)), -bestU, best.Flat(g))
+		} else {
+			rec.Commit(-1, -1, -1)
+		}
+	}
 	return best, found
+}
+
+// utilizationPeek scores a cluster's bus utilisation WITHOUT updating
+// the Equation 2 sampling cache. The flight recorder scores candidates
+// the policy itself never samples (degraded clusters); going through
+// utilization() for those would roll their windows and diverge the
+// cached values from a recording-off run.
+func (m *Manager) utilizationPeek(id topo.ClusterID) float64 {
+	g := m.arr.Config().Geometry
+	flat := id.Flat(g)
+	now := m.arr.Engine().Now()
+	if now-m.utilAt[flat] < m.opt.UtilWindow {
+		return m.utilLast[flat]
+	}
+	return m.arr.Endpoint(id).BusUtilizationSince(m.utilAt[flat], m.utilBusy[flat])
 }
 
 // utilization samples a cluster's shared-bus utilisation over the

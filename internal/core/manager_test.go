@@ -5,6 +5,7 @@ import (
 
 	"triplea/internal/array"
 	"triplea/internal/cluster"
+	"triplea/internal/decision"
 	"triplea/internal/metrics"
 	"triplea/internal/nand"
 	"triplea/internal/simx"
@@ -176,7 +177,7 @@ func TestColdClusterSelectionStaysOnSwitch(t *testing.T) {
 	a, _ := array.New(smallConfig())
 	m := Attach(a, DefaultOptions())
 	hot := topo.ClusterID{Switch: 1, Cluster: 3}
-	cold, ok := m.coldClusterNear(hot)
+	cold, ok := m.coldClusterNear(hot, decision.Migration)
 	if !ok {
 		t.Fatal("no cold cluster on an idle array")
 	}

@@ -1,0 +1,236 @@
+package decision
+
+import (
+	"triplea/internal/metrics"
+	"triplea/internal/simx"
+)
+
+// Record is one fully-committed decision: when and where it happened,
+// what was chosen, how the alternatives scored, and the counterfactual
+// regret against the best candidate that was scored (eligible or not).
+type Record struct {
+	// Seq is the 0-based global decision sequence number.
+	Seq uint64
+	// At is the simulation time the decision was made.
+	At simx.Time
+	// Family is the policy that decided.
+	Family Family
+	// Cluster is the flat cluster index the decision originated at
+	// (the hot cluster, the reshaping endpoint's cluster, the GC
+	// cluster, the unplugged cluster); -1 when not applicable.
+	Cluster int
+	// Chosen identifies the committed candidate (a flat FIMM index, a
+	// flat cluster index, or a packed PPN depending on Family); -1
+	// when the policy chose nothing.
+	Chosen int64
+	// Score is the chosen candidate's score under the family's scoring
+	// convention (higher is better).
+	Score float64
+	// Regret is max(0, bestCandidateScore-Score) over every candidate
+	// scored for this decision, eligible or excluded.
+	Regret float64
+	// Dest is the flat cluster index the choice lands on; -1 when not
+	// applicable.
+	Dest int
+	// NCand is the total number of candidates scored, including those
+	// dropped from the top-K.
+	NCand int
+	// Alts holds the top NAlts candidates by score (descending, ID
+	// ascending on ties).
+	Alts  [MaxAlternatives]Alternative
+	NAlts int
+}
+
+// familyAgg is the streaming per-family aggregate: O(1) state per
+// family regardless of run length. Regret is quantized to micro-units
+// (x1e6) for the fixed-bucket histogram.
+type familyAgg struct {
+	count     uint64
+	regretSum float64
+	regretMax float64
+	hist      *metrics.Histogram
+}
+
+// Recorder is the Ring-backend decision recorder. A nil *Recorder is
+// the Off backend: every method is nil-receiver-safe and short-circuits
+// on one nil check, which is the entire cost of recording-off on the
+// hot paths. Methods never allocate; the ring, histograms, and cluster
+// table are sized once at construction.
+//
+// The protocol per decision is Begin, zero or more Candidate calls,
+// then exactly one Commit or Cancel. Begin unconditionally resets the
+// in-progress state, so a missed Cancel cannot corrupt the next
+// decision.
+type Recorder struct {
+	ring []Record
+	// seq counts committed decisions; the ring index of record s is
+	// s % len(ring).
+	seq uint64
+
+	// In-progress decision state between Begin and Commit/Cancel.
+	cur       Record
+	bestScore float64
+	bestID    int64
+	haveBest  bool
+	open      bool
+
+	families      [numFamilies]familyAgg
+	clusterChoice []uint64
+	top           [TopExemplars]Exemplar
+	nTop          int
+}
+
+// NewRecorder builds a Ring-backend recorder for an array with the
+// given number of flat clusters.
+func NewRecorder(clusters int) *Recorder {
+	r := &Recorder{
+		ring:          make([]Record, DefaultRingSize),
+		clusterChoice: make([]uint64, clusters),
+	}
+	for i := range r.families {
+		r.families[i].hist = metrics.NewHistogram()
+	}
+	return r
+}
+
+// Begin opens a decision record. now is passed by the caller (rather
+// than read through a clock hook) so the hot instrumentation sites stay
+// free of dynamic calls.
+func (r *Recorder) Begin(f Family, cluster int, now simx.Time) {
+	if r == nil {
+		return
+	}
+	r.cur = Record{At: now, Family: f, Cluster: cluster, Chosen: -1, Dest: -1}
+	r.bestScore = 0
+	r.bestID = 0
+	r.haveBest = false
+	r.open = true
+}
+
+// Candidate scores one candidate for the open decision. Higher scores
+// are better. Every candidate — eligible or excluded — enters the
+// regret baseline; only the top MaxAlternatives by (score descending,
+// ID ascending) keep their details in the record.
+func (r *Recorder) Candidate(id int64, score float64, reason ExcludeReason) {
+	if r == nil || !r.open {
+		return
+	}
+	r.cur.NCand++
+	if !r.haveBest || score > r.bestScore ||
+		(score == r.bestScore && id < r.bestID) {
+		r.bestScore = score
+		r.bestID = id
+		r.haveBest = true
+	}
+	n := r.cur.NAlts
+	i := n
+	for i > 0 {
+		a := r.cur.Alts[i-1]
+		if a.Score > score || (a.Score == score && a.ID <= id) {
+			break
+		}
+		i--
+	}
+	if i >= MaxAlternatives {
+		return
+	}
+	if n < MaxAlternatives {
+		n++
+	}
+	for j := n - 1; j > i; j-- {
+		r.cur.Alts[j] = r.cur.Alts[j-1]
+	}
+	r.cur.Alts[i] = Alternative{ID: id, Score: score, Reason: reason}
+	r.cur.NAlts = n
+}
+
+// Commit closes the open decision with the chosen candidate, computes
+// regret, and folds the record into the ring and the streaming
+// aggregates. dest is the flat cluster the choice lands on (-1 if not
+// applicable).
+func (r *Recorder) Commit(chosen int64, score float64, dest int) {
+	if r == nil || !r.open {
+		return
+	}
+	r.open = false
+	r.cur.Chosen = chosen
+	r.cur.Score = score
+	r.cur.Dest = dest
+	regret := 0.0
+	if r.haveBest && r.bestScore > score {
+		regret = r.bestScore - score
+	}
+	r.cur.Regret = regret
+	r.cur.Seq = r.seq
+	r.seq++
+	r.ring[r.cur.Seq%uint64(len(r.ring))] = r.cur
+
+	f := r.cur.Family
+	r.families[f].count++
+	r.families[f].regretSum += regret
+	if regret > r.families[f].regretMax {
+		r.families[f].regretMax = regret
+	}
+	r.families[f].hist.Observe(simx.Time(regret * 1e6))
+
+	if dest >= 0 && dest < len(r.clusterChoice) {
+		r.clusterChoice[dest]++
+	}
+
+	n := r.nTop
+	i := n
+	for i > 0 {
+		e := r.top[i-1]
+		if e.Regret > regret || (e.Regret == regret && e.Seq <= r.cur.Seq) {
+			break
+		}
+		i--
+	}
+	if i >= TopExemplars {
+		return
+	}
+	if n < TopExemplars {
+		n++
+	}
+	for j := n - 1; j > i; j-- {
+		r.top[j] = r.top[j-1]
+	}
+	r.top[i] = Exemplar{
+		Seq:     r.cur.Seq,
+		At:      r.cur.At,
+		Family:  r.cur.Family,
+		Cluster: r.cur.Cluster,
+		Chosen:  chosen,
+		Regret:  regret,
+	}
+	r.nTop = n
+}
+
+// Cancel discards the open decision without counting it (used when a
+// policy aborts, e.g. GC finds no reclaimable victim).
+func (r *Recorder) Cancel() {
+	if r == nil {
+		return
+	}
+	r.open = false
+}
+
+// Len reports how many of the most recent decisions currently have
+// full records in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.seq < uint64(len(r.ring)) {
+		return int(r.seq)
+	}
+	return len(r.ring)
+}
+
+// Decisions reports the total number of committed decisions.
+func (r *Recorder) Decisions() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}

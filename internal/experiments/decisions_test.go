@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"triplea/internal/decision"
+	"triplea/internal/workload"
+)
+
+// Golden digest of the seed-42 decision TraceSet (DecisionTraces,
+// encoded with decision.EncodeJSON). The trace builder runs its three
+// scenarios serially, so these bytes are independent of any sweep
+// width by construction; the pin catches both nondeterminism in the
+// recorder and accidental drift in the decision sites' candidate
+// enumeration order. Re-capture in the same commit if a change
+// legitimately alters autonomic decisions, and say so in the message.
+const (
+	decisionGoldenSHA256 = "2e8c98d9c5fc7451b15b013b56551a0d9de4f12d10d247b4062fca29e28b9469"
+	decisionGoldenLen    = 3425065
+)
+
+// TestDecisionTraceGolden pins the recorded decision traces of the
+// reference scenarios byte-for-byte and proves every decision family
+// is witnessed by at least one scenario.
+func TestDecisionTraceGolden(t *testing.T) {
+	encode := func() []byte {
+		t.Helper()
+		ts, err := DecisionTraces(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := decision.EncodeJSON(*ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := encode()
+	sum := sha256.Sum256(first)
+	got := hex.EncodeToString(sum[:])
+	if len(first) != decisionGoldenLen || got != decisionGoldenSHA256 {
+		t.Fatalf("decision traces diverged from golden bytes:\n  got  sha256=%s len=%d\n  want sha256=%s len=%d",
+			got, len(first), decisionGoldenSHA256, decisionGoldenLen)
+	}
+	if second := encode(); string(first) != string(second) {
+		t.Fatal("same seed produced different decision traces")
+	}
+
+	ts, err := decision.DecodeTraceSet(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Scenarios) != 3 {
+		t.Fatalf("%d scenarios, want 3", len(ts.Scenarios))
+	}
+	var seen [decision.NumFamilies]bool
+	for _, sc := range ts.Scenarios {
+		if sc.Trace.Summary.Decisions == 0 {
+			t.Errorf("scenario %s recorded no decisions", sc.Name)
+		}
+		for _, f := range sc.Trace.Summary.Families {
+			if f.Count > 0 {
+				seen[int(f.Family)] = true
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("family %s witnessed by no scenario", decision.Family(i))
+		}
+	}
+}
+
+// serializePair mirrors serializeRun with a selectable decision
+// backend: the micro-benchmark pair rendered record by record.
+func serializePair(t *testing.T, backend decision.Backend) string {
+	t.Helper()
+	var b strings.Builder
+	for _, p := range []workload.Profile{
+		workload.MicroRead(2, 2000, 240_000),
+		workload.MicroWrite(2, 2000, 120_000),
+	} {
+		s := NewSuite()
+		s.Seed = 42
+		s.Config.Decisions = backend
+		r, err := s.RunProfile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, rec := range r.Base.Records() {
+			fmt.Fprintf(&b, "base %+v\n", rec)
+		}
+		for _, rec := range r.Auto.Records() {
+			fmt.Fprintf(&b, "auto %+v\n", rec)
+		}
+		fmt.Fprintf(&b, "summary gc=%d/%d moved=%d erases=%d/%d mgr=%+v ftl=%+v/%+v\n",
+			r.BaseGC, r.AutoGC, r.AutoMoved, r.BaseErases, r.AutoErases,
+			r.Manager, r.BaseFTL, r.AutoFTL)
+	}
+	return b.String()
+}
+
+// TestRecordingIsPureObservation proves turning the flight recorder on
+// does not perturb the simulation: the recorded run must emit the
+// exact golden bytes the recording-off run is pinned to. Any decision
+// site that computes its candidates differently when a recorder is
+// attached (instead of only observing) fails here.
+func TestRecordingIsPureObservation(t *testing.T) {
+	out := serializePair(t, decision.Ring)
+	sum := sha256.Sum256([]byte(out))
+	got := hex.EncodeToString(sum[:])
+	if len(out) != goldenOutputLen || got != goldenSHA256 {
+		t.Fatalf("recording on perturbed the simulation:\n  got  sha256=%s len=%d\n  want sha256=%s len=%d",
+			got, len(out), goldenSHA256, goldenOutputLen)
+	}
+}
+
+// TestRegretStudySmoke checks the regret study renders one row per
+// Table 1 workload on a reduced suite (the byte-equivalence across
+// sweep widths is pinned by TestParallelEquivalence).
+func TestRegretStudySmoke(t *testing.T) {
+	s := testSuite()
+	s.Requests = 800
+	tbl, err := s.RegretStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, name := range WorkloadNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("regret table missing workload %s:\n%s", name, out)
+		}
+	}
+}

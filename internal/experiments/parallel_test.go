@@ -32,7 +32,7 @@ func renderAt(t *testing.T, name string, parallel int) []byte {
 // on 8 workers (more workers than points, exercising idle-worker
 // shutdown).
 func TestParallelEquivalence(t *testing.T) {
-	for _, name := range []string{"fig12", "fig13", "fault"} {
+	for _, name := range []string{"fig12", "fig13", "fault", "regret"} {
 		serial := renderAt(t, name, 1)
 		if len(serial) == 0 {
 			t.Fatalf("%s: empty serial render", name)

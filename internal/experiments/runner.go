@@ -57,6 +57,7 @@ var registry = []experimentSpec{
 	{"dram", func(s *Suite, w io.Writer) error { t, err := s.DRAMStudy(); return renderOne(w, t, err) }},
 	{"cost", func(s *Suite, w io.Writer) error { t, err := s.CostStudy(); return renderOne(w, t, err) }},
 	{"fault", func(s *Suite, w io.Writer) error { t, err := s.FaultStudy(); return renderOne(w, t, err) }},
+	{"regret", func(s *Suite, w io.Writer) error { t, err := s.RegretStudy(); return renderOne(w, t, err) }},
 }
 
 // Names lists the experiment names accepted by Run and the bench

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"triplea/internal/array"
+	"triplea/internal/decision"
 	"triplea/internal/simx"
 	"triplea/internal/topo"
 )
@@ -51,6 +52,9 @@ type Injector struct {
 	events []Event
 	stats  Stats
 	evacs  map[int]*evac // flat cluster -> in-progress evacuation
+	// dec is the array's decision flight recorder (nil when off);
+	// evacuation destination choices are recorded through it.
+	dec *decision.Recorder
 }
 
 // Attach arms the array's fault paths, materializes the plan and
@@ -65,6 +69,7 @@ func Attach(a *array.Array, p Plan, opt Options) *Injector {
 		opt:    opt,
 		events: p.Materialize(a.Config().Geometry),
 		evacs:  make(map[int]*evac),
+		dec:    a.Decisions(),
 	}
 	a.ArmFaults()
 	a.SetFaultRecovery(opt.Recover)
@@ -211,6 +216,26 @@ func (inj *Injector) evacuate(id topo.ClusterID) {
 		a.Health().SetCluster(id, topo.ClusterOffline)
 		a.Endpoint(id).SetUnplugged(true)
 		return
+	}
+	if rec := inj.dec; rec != nil {
+		// Record the rotation head's choice with every placeable FIMM as
+		// a candidate: same-switch destinations score 1 (preferred local
+		// fabric hops), cross-switch ones 0. The rotation then cycles
+		// through all of them, so only the first pick is the "decision".
+		rec.Begin(decision.Evacuation, id.Flat(g), a.Engine().Now())
+		for _, fid := range targets {
+			score := 0.0
+			if fid.Switch == id.Switch {
+				score = 1.0
+			}
+			rec.Candidate(int64(fid.Flat(g)), score, decision.Eligible)
+		}
+		first := targets[0]
+		score := 0.0
+		if first.Switch == id.Switch {
+			score = 1.0
+		}
+		rec.Commit(int64(first.Flat(g)), score, first.ClusterID.Flat(g))
 	}
 
 	inj.stats.Recoveries = append(inj.stats.Recoveries,

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"slices"
 
+	"triplea/internal/decision"
+	"triplea/internal/simx"
 	"triplea/internal/topo"
 	"triplea/internal/units"
 )
@@ -121,6 +123,12 @@ type FTL struct {
 	health *topo.Health
 	lost   map[int64]bool
 
+	// Decision flight recorder (nil when recording is off) and its
+	// clock source, injected by the array at build time so PlanGC can
+	// timestamp victim selections without the FTL knowing the engine.
+	dec    *decision.Recorder
+	decNow func() simx.Time
+
 	stats Stats
 	ck    ckState // empty unless built with -tags simcheck
 }
@@ -151,6 +159,14 @@ func New(geom topo.Geometry, opts ...Option) *FTL {
 		o(f)
 	}
 	return f
+}
+
+// SetDecisions attaches the decision flight recorder plus a clock
+// source for timestamping GC victim selections. A nil recorder (the
+// off backend) keeps PlanGC's recording hooks at a single nil check.
+func (f *FTL) SetDecisions(d *decision.Recorder, now func() simx.Time) {
+	f.dec = d
+	f.decNow = now
 }
 
 // Geometry returns the array geometry.

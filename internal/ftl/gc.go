@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"triplea/internal/decision"
 	"triplea/internal/topo"
 	"triplea/internal/units"
 )
@@ -93,7 +94,20 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 	// ascending block order so equal-valid ties break the same way on
 	// every run; ranging over the map directly would let Go's random
 	// iteration order pick the victim among ties.
+	//
+	// Candidates are also scored into the decision flight recorder at
+	// -valid (fewer valid pages is better). The greedy "cannot beat the
+	// running minimum" skip keeps its position BEFORE the veto probe so
+	// recording never changes how often the veto hook runs; those
+	// skipped blocks are recorded as plain eligible candidates — they
+	// cannot outscore the chosen victim, so they add no regret.
 	pkg, die, plane := unitCoords(g, unitIdx)
+	rec := f.dec
+	if rec != nil && f.decNow != nil {
+		rec.Begin(decision.GCVictim, id.ClusterID.Flat(g), f.decNow())
+	} else {
+		rec = nil
+	}
 	blocks := make([]int, 0, len(u.touched))
 	for b := range u.touched {
 		blocks = append(blocks, b)
@@ -108,21 +122,46 @@ func (f *FTL) PlanGC(id topo.FIMMID, veto func(topo.PPN) bool) (*GCPlan, bool) {
 		if bi.retired {
 			// Faulted-out block: its pages are unreadable, GC cannot
 			// relocate them and the block must never be reused.
+			if rec != nil {
+				dieBlock := b*g.Nand.PlanesPerDie + plane
+				ppn0 := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)
+				rec.Candidate(int64(ppn0), -float64(bi.valid), decision.ExcludedRetired)
+			}
 			continue
 		}
 		if bi.valid >= victimValid {
+			if rec != nil {
+				dieBlock := b*g.Nand.PlanesPerDie + plane
+				ppn0 := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)
+				rec.Candidate(int64(ppn0), -float64(bi.valid), decision.Eligible)
+			}
 			continue
 		}
 		if veto != nil {
 			dieBlock := b*g.Nand.PlanesPerDie + plane
 			if veto(topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)) {
+				if rec != nil {
+					ppn0 := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)
+					rec.Candidate(int64(ppn0), -float64(bi.valid), decision.ExcludedVetoed)
+				}
 				continue
 			}
+		}
+		if rec != nil {
+			dieBlock := b*g.Nand.PlanesPerDie + plane
+			ppn0 := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)
+			rec.Candidate(int64(ppn0), -float64(bi.valid), decision.Eligible)
 		}
 		victimBlock, victimValid = b, bi.valid
 	}
 	if victimBlock < 0 {
+		rec.Cancel()
 		return nil, false
+	}
+	if rec != nil {
+		dieBlock := victimBlock*g.Nand.PlanesPerDie + plane
+		ppn0 := topo.PackPPN(id.Switch, id.Cluster, id.FIMM, pkg, die, dieBlock, 0)
+		rec.Commit(int64(ppn0), -float64(victimValid), id.ClusterID.Flat(g))
 	}
 
 	dieBlock := victimBlock*g.Nand.PlanesPerDie + plane

@@ -200,6 +200,17 @@ var hotCertified = []funcRef{
 	// registry counter increment: one add to a pre-registered slot
 	// (the array's fault counters fire on hot-reachable fault paths)
 	{"internal/metrics", "Counter", "Inc"},
+	// streaming histogram observation: one bucket increment into a
+	// preallocated counts slice (the decision recorder's regret
+	// histograms observe on Commit)
+	{"internal/metrics", "Histogram", "Observe"},
+	// decision flight recorder hooks: nil-receiver-safe, allocation-free
+	// by construction (fixed ring + insertion sorts into fixed arrays);
+	// the off backend is the nil check these methods open with
+	{"internal/decision", "Recorder", "Begin"},
+	{"internal/decision", "Recorder", "Candidate"},
+	{"internal/decision", "Recorder", "Commit"},
+	{"internal/decision", "Recorder", "Cancel"},
 	{"internal/trace", "Request", "Validate"},
 	// errors.Is walks the wrapped chain without allocating
 	{"errors", "", "Is"},

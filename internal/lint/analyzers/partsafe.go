@@ -85,22 +85,24 @@ var partsafePackageSuffixes = []string{
 	"internal/fault",
 	"internal/metrics",
 	"internal/trace",
+	"internal/decision",
 }
 
 // componentZones assigns each component package its partition zone.
 var componentZones = map[string]string{
-	"internal/nand":    "subtree",
-	"internal/fimm":    "subtree",
-	"internal/cluster": "subtree",
-	"internal/pcie":    "fabric",
-	"internal/array":   "global",
-	"internal/core":    "global",
-	"internal/ftl":     "global",
-	"internal/fault":   "global",
-	"internal/simx":    "service",
-	"internal/topo":    "service",
-	"internal/metrics": "service",
-	"internal/trace":   "service",
+	"internal/nand":     "subtree",
+	"internal/fimm":     "subtree",
+	"internal/cluster":  "subtree",
+	"internal/pcie":     "fabric",
+	"internal/array":    "global",
+	"internal/core":     "global",
+	"internal/ftl":      "global",
+	"internal/fault":    "global",
+	"internal/simx":     "service",
+	"internal/topo":     "service",
+	"internal/metrics":  "service",
+	"internal/trace":    "service",
+	"internal/decision": "service",
 }
 
 // componentVias classifies what kind of channel a declared edge rides:
@@ -167,16 +169,23 @@ var componentEdges = []ComponentEdge{
 	{From: "internal/array", To: "internal/ftl", Type: "GCPlan", Via: "control", Note: "GC plans executed step by step"},
 	{From: "internal/array", To: "internal/metrics", Type: "Recorder", Via: "registry", Note: "per-run metrics sink"},
 	{From: "internal/array", To: "internal/topo", Type: "Health", Via: "health", Note: "availability registry consulted and updated"},
+	{From: "internal/array", To: "internal/decision", Type: "Recorder", Via: "trace", Note: "decision flight recorder (nil when off)"},
 
 	// internal/core (global): the autonomic manager above the array.
 	{From: "internal/core", To: "internal/array", Type: "Array", Via: "control", Note: "the manager drives the array it monitors"},
 	{From: "internal/core", To: "internal/array", Type: "Hooks", Via: "control", Note: "implements the array's observation hooks"},
+	{From: "internal/core", To: "internal/decision", Type: "Recorder", Via: "trace", Note: "records migration/reshape/redirect decisions"},
 
 	// internal/fault (global): scripted failure injection.
 	{From: "internal/fault", To: "internal/array", Type: "Array", Via: "control", Note: "fault scripts flip array state"},
+	{From: "internal/fault", To: "internal/decision", Type: "Recorder", Via: "trace", Note: "records evacuation destination choices"},
 
 	// internal/ftl (global): address translation and GC planning.
 	{From: "internal/ftl", To: "internal/topo", Type: "Health", Via: "health", Note: "plans around failed planes"},
+	{From: "internal/ftl", To: "internal/decision", Type: "Recorder", Via: "trace", Note: "records GC victim selections"},
+
+	// internal/decision (service): the flight recorder itself.
+	{From: "internal/decision", To: "internal/metrics", Type: "Histogram", Via: "registry", Note: "streaming regret histograms per family"},
 
 	// internal/cluster (subtree): one SSD-cluster endpoint.
 	{From: "internal/cluster", To: "internal/simx", Type: "Engine", Via: "engine", Note: "endpoint pipeline stages schedule on the engine"},

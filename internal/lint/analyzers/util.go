@@ -38,6 +38,7 @@ var isoStatePackageSuffixes = append([]string{
 	"internal/workload",
 	"internal/metrics",
 	"internal/trace",
+	"internal/decision",
 }, simPackageSuffixes...)
 
 // orchestrationPackageSuffixes is the one scope where concurrency is
